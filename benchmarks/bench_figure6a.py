@@ -1,0 +1,28 @@
+"""Regenerates Figure 6a (minimum number of failing links disconnecting an
+AS pair, §5.3) over the scaled core network."""
+
+from conftest import run_once
+
+
+def test_figure6a(benchmark, figure6_result):
+    result = run_once(benchmark, lambda: figure6_result)
+    print()
+    print(result.render())
+
+    # Resilience ordering: BGP < baseline <= diversity(limits, increasing)
+    # <= optimum, in mean fraction of optimum.
+    assert result.orderings_hold(), result.render()
+
+    # §5.3: over the <=15-failing-links region, the baseline "on average
+    # more than doubles the link failure resilience compared to BGP". The
+    # doubling factor is topology-dependent; require a clear improvement.
+    bgp = result.mean_over_prefix("bgp", 15)
+    baseline = result.mean_over_prefix("baseline(60)", 15)
+    assert baseline >= 1.5 * bgp, f"baseline {baseline:.2f} vs BGP {bgp:.2f}"
+
+    # Every series is dominated by the optimum on every pair.
+    for name in result.series_names():
+        for value, optimum in zip(
+            result.values[name], result.values["optimum"]
+        ):
+            assert value <= optimum

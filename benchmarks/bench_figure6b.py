@@ -1,0 +1,36 @@
+"""Regenerates Figure 6b (maximum capacity in multiples of inter-AS links,
+§5.3): CDFs per algorithm and the fraction-of-optimum series."""
+
+from conftest import run_once
+
+
+def test_figure6b(benchmark, figure6_result):
+    result = run_once(benchmark, lambda: figure6_result)
+    print()
+    print(result.render())
+
+    # BGP multipath has the lowest capacity of all series.
+    for name in result.series_names():
+        if name == "bgp":
+            continue
+        assert result.mean_fraction_of_optimum(
+            name
+        ) >= result.mean_fraction_of_optimum("bgp")
+
+    # Diversity capacity grows with the storage limit and approaches the
+    # optimum (§5.3: "close to the optimal capacity until the PCB storage
+    # limit is almost reached").
+    fractions = [
+        result.mean_fraction_of_optimum(f"diversity({limit})")
+        for limit in (15, 30, 60, "inf")
+    ]
+    assert all(b >= a - 0.06 for a, b in zip(fractions, fractions[1:]))
+    assert fractions[-1] >= 0.8
+
+    # Against the storage-capped optimum, small limits are near-optimal
+    # (the paper's 99/97/95 % reading for limits 15/30/60).
+    for limit in (15, 30, 60):
+        capped = result.capped_fraction_of_optimum(
+            f"diversity({limit})", limit
+        )
+        assert capped >= 0.65, f"storage {limit}: {capped:.0%} of capped opt"

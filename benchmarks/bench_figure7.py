@@ -1,0 +1,26 @@
+"""Regenerates Figure 7 (Appendix B: minimum failing links on the SCIONLab
+testbed topology)."""
+
+from conftest import run_once
+
+
+def test_figure7(benchmark, scionlab_result):
+    result = run_once(benchmark, lambda: scionlab_result)
+    print()
+    print(result.render())
+
+    # The baseline(5) series is the measurement proxy (see DESIGN.md).
+    assert result.values["baseline(5)"] == result.values["measurement"]
+
+    # Diversity improves resilience over the measurement in a meaningful
+    # share of pairs, growing with the storage limit (paper: 17-55 %).
+    improved = [
+        result.improved_over_measurement(f"diversity({k})")
+        for k in (5, 10, 15, 60)
+    ]
+    assert improved[0] >= 0.05
+    assert improved[-1] >= improved[0]
+    assert all(0.0 <= frac <= 1.0 for frac in improved)
+
+    # Appendix B: storage limits above ~15 provide negligible benefits.
+    assert result.diminishing_returns_above(15)

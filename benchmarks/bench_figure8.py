@@ -1,0 +1,27 @@
+"""Regenerates Figure 8 (Appendix B: maximum capacity on the SCIONLab
+testbed topology)."""
+
+from conftest import run_once
+
+
+def test_figure8(benchmark, scionlab_result):
+    result = run_once(benchmark, lambda: scionlab_result)
+    print()
+    print(result.render())
+
+    # Capacity ordering: measurement <= diversity(5..60) <= optimum.
+    measurement = result.mean_fraction_of_optimum("measurement")
+    fractions = [
+        result.mean_fraction_of_optimum(f"diversity({k})")
+        for k in (5, 10, 15, 60)
+    ]
+    assert all(f >= measurement - 0.02 for f in fractions)
+    assert fractions[-1] >= fractions[0] - 0.02
+    assert fractions[-1] >= 0.9  # near-optimal on the sparse testbed core
+
+    # Per-pair domination by the optimum.
+    for name in result.series_names():
+        for value, optimum in zip(
+            result.values[name], result.values["optimum"]
+        ):
+            assert value <= optimum

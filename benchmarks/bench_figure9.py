@@ -1,0 +1,20 @@
+"""Regenerates Figure 9 (Appendix B: per-interface core-beaconing bandwidth
+on the SCIONLab testbed)."""
+
+from conftest import run_once
+
+
+def test_figure9(benchmark, scionlab_result):
+    result = run_once(benchmark, lambda: scionlab_result)
+    print()
+    print(result.render())
+
+    bandwidths = result.interface_bandwidths
+    assert bandwidths, "no interface carried beacons"
+    assert all(bps > 0 for bps in bandwidths)
+
+    # Paper: "The beaconing overhead in SCIONLab is less than 4 KB/s per
+    # interface for almost 80% of all core interfaces".
+    assert result.fraction_below_bandwidth(4096) >= 0.8
+    # And it is genuinely small against typical inter-domain capacity.
+    assert result.bandwidth_cdf().median < 4096

@@ -1,0 +1,28 @@
+"""Regenerates the §4.2 parameter grid search (coarse-then-fine)."""
+
+from conftest import run_once
+
+from repro.experiments.gridsearch import run_gridsearch
+
+
+def test_gridsearch(benchmark, scale):
+    # The full coarse-then-fine search evaluates ~60 parameter points; on a
+    # single-core bench box that is paper-scale work. The bench validates
+    # the search on the coarse stage; `python -m repro.experiments
+    # gridsearch --scale paper` runs the full two-stage search.
+    coarse_only = scale.name in ("test", "bench")
+    result = run_once(
+        benchmark, lambda: run_gridsearch(scale, coarse_only=coarse_only)
+    )
+    best = result.best_params
+    print()
+    print(
+        f"grid search best: alpha={best.alpha:.2f} beta={best.beta:.2f} "
+        f"gamma={best.gamma:.2f} threshold={best.score_threshold:.3f} "
+        f"score={result.best_score:.3f} over {result.num_evaluations} points"
+    )
+    assert result.num_evaluations >= 4
+    # The objective is quality(<=1) minus an overhead penalty: a sane
+    # optimum keeps most of the quality.
+    assert result.best_score > 0.3
+    best.validate()

@@ -1,0 +1,72 @@
+"""Micro-benchmarks of the hot control-plane operations.
+
+These are conventional pytest-benchmark timings (many rounds) of the
+per-interval costs that dominate the figure regenerations: one beaconing
+selection round per algorithm, max-flow analysis, and BGP convergence.
+"""
+
+import pytest
+
+from repro.analysis.flows import flow_graph_from_topology, max_flow
+from repro.bgp.simulator import BGPSimulation
+from repro.simulation.beaconing import (
+    BeaconingConfig,
+    BeaconingSimulation,
+    baseline_factory,
+    diversity_factory,
+)
+from repro.topology.generator import (
+    InternetGeneratorConfig,
+    generate_core_mesh,
+    generate_internet,
+)
+
+CONFIG = BeaconingConfig(storage_limit=20)
+
+
+def _warmed_simulation(factory):
+    topo = generate_core_mesh(16, seed=3, mean_degree=5.0)
+    sim = BeaconingSimulation(topo, factory, CONFIG)
+    sim.run_intervals(12)
+    return sim
+
+
+def test_baseline_selection_interval(benchmark):
+    sim = _warmed_simulation(baseline_factory())
+    benchmark(sim.step)
+    assert sim.metrics.total_pcbs > 0
+
+
+def test_diversity_selection_interval(benchmark):
+    sim = _warmed_simulation(diversity_factory())
+    benchmark(sim.step)
+    assert sim.intervals_run > 12
+
+
+def test_max_flow_between_core_ases(benchmark):
+    topo = generate_core_mesh(40, seed=5)
+    graph = flow_graph_from_topology(topo)
+    asns = sorted(topo.asns())
+
+    result = benchmark(lambda: max_flow(graph, asns[0], asns[-1]))
+    assert result >= 1
+
+
+def test_bgp_convergence_small_internet(benchmark):
+    topo = generate_internet(InternetGeneratorConfig(num_ases=60, seed=4))
+
+    def converge():
+        return BGPSimulation(topo).run()
+
+    sim = benchmark.pedantic(converge, rounds=1, iterations=1)
+    assert sim.converged
+
+
+def test_topology_generation(benchmark):
+    def build():
+        return generate_internet(
+            InternetGeneratorConfig(num_ases=300, seed=9)
+        )
+
+    topo = benchmark(build)
+    assert topo.is_connected()

@@ -1,0 +1,15 @@
+"""Regenerates Table 1 (path management overhead comparison, §4.1)."""
+
+from conftest import run_once
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1(benchmark, scale):
+    result = run_once(benchmark, lambda: run_table1(scale))
+    print()
+    print(result.render())
+    # Every component must land in the paper's scope/frequency cell.
+    assert result.matches_paper(), result.render()
+    # All seven components must be exercised by the workload.
+    assert len(result.rows) == 7

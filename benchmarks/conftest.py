@@ -1,0 +1,66 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table/figure of the paper. The scale is
+selectable with ``REPRO_BENCH_SCALE`` (``test`` for a quick smoke run,
+``bench`` — the default — for the shape-faithful run, ``paper`` for the
+published sizes). Expensive experiment results are shared session-wide so
+e.g. Figures 7, 8 and 9 reuse one SCIONLab run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import get_scale
+from repro.experiments.common import build_core_topologies
+
+
+def pytest_report_header(config):
+    return f"repro benchmark scale: {_scale_name()}"
+
+
+def _scale_name() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "bench")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale(_scale_name())
+
+
+@pytest.fixture(scope="session")
+def core_topologies(scale):
+    """The pruned core network (shared by Figures 5 and 6)."""
+    return build_core_topologies(scale)
+
+
+@pytest.fixture(scope="session")
+def _result_cache():
+    return {}
+
+
+@pytest.fixture(scope="session")
+def figure6_result(scale, core_topologies, _result_cache):
+    from repro.experiments.figure6 import run_figure6
+
+    if "figure6" not in _result_cache:
+        _result_cache["figure6"] = run_figure6(
+            scale, topologies=core_topologies
+        )
+    return _result_cache["figure6"]
+
+
+@pytest.fixture(scope="session")
+def scionlab_result(scale, _result_cache):
+    from repro.experiments.scionlab import run_scionlab
+
+    if "scionlab" not in _result_cache:
+        _result_cache["scionlab"] = run_scionlab(scale)
+    return _result_cache["scionlab"]
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""IXP deployment models (§3.5, Figure 4): big switch vs exposed topology.
+
+The same three member ISPs interconnect at an IXP twice:
+
+* as a **big switch** — the IXP transparently facilitates bilateral peering
+  links; the SCION control plane sees member-to-member links only;
+* as an **exposed topology** — the IXP operates one SCION AS per site with
+  redundant inter-site links, and members gain multi-path *through* the
+  IXP's fabric, including failover onto its backup links.
+
+Run:  python examples/ixp_deployment.py
+"""
+
+from repro.analysis import unit_max_flow_between
+from repro.deployment import ExposedIXP, big_switch_peering
+from repro.topology import Relationship, Topology
+
+
+def members_topology() -> Topology:
+    """Three member ISPs below two upstream cores (no direct links)."""
+    topo = Topology("ixp-demo")
+    topo.add_as(1, isd=1, is_core=True)
+    topo.add_as(2, isd=1, is_core=True)
+    topo.add_link(1, 2, Relationship.CORE)
+    for member in (10, 11, 12):
+        topo.add_as(member, isd=1)
+        topo.add_link(1 if member != 12 else 2, member,
+                      Relationship.PROVIDER_CUSTOMER)
+    return topo
+
+
+def main() -> None:
+    # ---- model 1: big switch ----------------------------------------------
+    topo = members_topology()
+    before = unit_max_flow_between(topo, 10, 11)
+    created = big_switch_peering(topo, [10, 11, 12], location="SwissIX")
+    after = unit_max_flow_between(topo, 10, 11)
+    print("== big switch (SwissIX model) ==")
+    print(f"  bilateral peering links created: {len(created)}")
+    print(f"  member 10 <-> 11 min-cut: {before} -> {after}")
+    print("  the IXP is invisible to the SCION control plane\n")
+
+    # ---- model 2: exposed internal topology --------------------------------
+    topo = members_topology()
+    ixp = ExposedIXP(topo, name="openix")
+    ixp.add_sites(4, first_asn=65000, isd=1, redundant_pairs=[(0, 2), (1, 3)])
+    ixp.attach_member(10, 0)
+    ixp.attach_member(11, 2)
+    ixp.attach_member(12, 1)
+    # A second port for member 10 at another site (multi-path into the IXP).
+    ixp.attach_member(10, 3)
+
+    print("== exposed topology (Figure 4 model) ==")
+    print(f"  IXP sites (SCION ASes): {ixp.site_asns}")
+    print(f"  internal links (ring + backups): "
+          f"{len(ixp.internal_link_ids())}")
+    flow = unit_max_flow_between(topo, 10, 11)
+    print(f"  member 10 <-> 11 min-cut through the IXP fabric: {flow}")
+
+    # Fail one inter-site link: the redundant fabric keeps members joined.
+    ring_link = ixp.internal_link_ids()[0]
+    topo.remove_link(ring_link)
+    flow_after = unit_max_flow_between(topo, 10, 11)
+    print(f"  after an inter-site link failure: min-cut {flow_after} "
+          "(backup links keep the members connected)")
+    print("  members can select paths through specific IXP sites — "
+          "latency/bandwidth optimization inside the IXP")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""Path-quality metrics: failure resilience and maximum capacity (§5.3).
+
+"Failure resilience is defined as the minimum number of links whose
+failures disconnect two ASes." For an algorithm's disseminated path set,
+that is the min-cut (= unit-capacity max-flow) of the sub-multigraph formed
+by the union of the disseminated paths; the optimum is the min-cut of the
+full topology. "Maximum capacity" measures the same max-flow interpreted as
+saturable parallel links — hence :func:`capacity` is an alias kept for
+experiment readability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.pcb import PCB
+from ..topology.model import Topology
+from .flows import flow_graph_from_topology, max_flow, unit_max_flow_between
+
+__all__ = [
+    "PairQuality",
+    "links_of_paths",
+    "path_set_resilience",
+    "optimal_resilience",
+    "path_set_capacity",
+    "optimal_capacity",
+    "evaluate_pairs",
+]
+
+
+def links_of_paths(paths: Iterable[Sequence[int]]) -> Tuple[int, ...]:
+    """Union of the link ids appearing on any of the given paths."""
+    links: set = set()
+    for path in paths:
+        links.update(path)
+    return tuple(sorted(links))
+
+
+def path_set_resilience(
+    topology: Topology,
+    source: int,
+    sink: int,
+    paths: Iterable[Sequence[int]],
+) -> int:
+    """Minimum number of link failures disconnecting ``source`` from
+    ``sink`` when only the disseminated ``paths`` (link-id sequences) are
+    usable. Zero if the path set does not connect the pair."""
+    link_ids = links_of_paths(paths)
+    if not link_ids:
+        return 0
+    return unit_max_flow_between(topology, source, sink, link_ids=link_ids)
+
+
+def optimal_resilience(topology: Topology, source: int, sink: int) -> int:
+    """Min-cut of the full topology between the pair ("Optimum")."""
+    return unit_max_flow_between(topology, source, sink)
+
+
+#: §5.3: the capacity objective "is equivalent to maximizing the number of
+#: parallel links on which traffic can be sent" — the same max-flow.
+path_set_capacity = path_set_resilience
+optimal_capacity = optimal_resilience
+
+
+@dataclass(frozen=True)
+class PairQuality:
+    """Quality of one AS pair under one algorithm's disseminated paths."""
+
+    source: int
+    sink: int
+    resilience: int
+    optimum: int
+
+    @property
+    def capacity(self) -> int:
+        return self.resilience
+
+    @property
+    def fraction_of_optimum(self) -> float:
+        if self.optimum == 0:
+            return 1.0
+        return self.resilience / self.optimum
+
+
+def evaluate_pairs(
+    topology: Topology,
+    pair_paths: Dict[Tuple[int, int], List[PCB]],
+    *,
+    optimum_graph=None,
+) -> List[PairQuality]:
+    """Evaluate resilience/capacity for many AS pairs.
+
+    ``pair_paths`` maps (origin, receiver) to the PCBs disseminated for
+    that pair. The optimum flow graph is built once and reused.
+    """
+    if optimum_graph is None:
+        optimum_graph = flow_graph_from_topology(topology)
+    results: List[PairQuality] = []
+    for (source, sink), pcbs in sorted(pair_paths.items()):
+        resilience = path_set_resilience(
+            topology, source, sink, [pcb.link_ids() for pcb in pcbs]
+        )
+        optimum = max_flow(optimum_graph, source, sink)
+        results.append(
+            PairQuality(
+                source=source,
+                sink=sink,
+                resilience=resilience,
+                optimum=optimum,
+            )
+        )
+    return results

@@ -1,0 +1,65 @@
+"""BGPsec update sizing per RFC 8205.
+
+BGPsec replaces AS_PATH with the BGPsec_PATH attribute:
+
+* Secure_Path: 2 B length + one 6 B Secure_Path segment per AS
+  (pCount 1 B, flags 1 B, AS number 4 B);
+* one Signature_Block: 2 B length + 1 B algorithm suite + one signature
+  segment per AS (SKI 20 B + 2 B signature length + the signature itself).
+
+The paper assumes ECDSA-384 signatures (96 B raw) for both SCION and
+BGPsec. Crucially, RFC 8205 §4.1 forbids announcing more than one prefix
+per BGPsec update ("the MP_REACH_NLRI attribute MUST NOT contain more than
+one prefix"), so BGPsec loses BGP's NLRI aggregation entirely — one fully
+signed update per prefix.
+"""
+
+from __future__ import annotations
+
+from .messages import (
+    BGP_HEADER_BYTES,
+    NEXT_HOP_ATTR_BYTES,
+    NLRI_BYTES,
+    ORIGIN_ATTR_BYTES,
+    PATH_ATTR_LEN_BYTES,
+    WITHDRAWN_LEN_BYTES,
+)
+
+__all__ = [
+    "SECURE_PATH_SEGMENT_BYTES",
+    "SIGNATURE_SEGMENT_OVERHEAD_BYTES",
+    "BGPSEC_SIGNATURE_BYTES",
+    "BGPSEC_ATTR_OVERHEAD_BYTES",
+    "bgpsec_update_size",
+]
+
+#: pCount (1) + flags (1) + AS number (4).
+SECURE_PATH_SEGMENT_BYTES = 6
+#: Subject key identifier (20) + signature length field (2).
+SIGNATURE_SEGMENT_OVERHEAD_BYTES = 22
+#: ECDSA-384 signature (the paper's assumption for SCION and BGPsec alike).
+BGPSEC_SIGNATURE_BYTES = 96
+#: BGPsec_PATH attribute header (3) + Secure_Path length (2) +
+#: Signature_Block length (2) + algorithm suite id (1).
+BGPSEC_ATTR_OVERHEAD_BYTES = 8
+
+
+def bgpsec_update_size(as_path_length: int) -> int:
+    """Bytes of one BGPsec update (exactly one prefix per RFC 8205 §4.1)."""
+    if as_path_length < 1:
+        raise ValueError("an announced route has at least the origin AS")
+    per_as = (
+        SECURE_PATH_SEGMENT_BYTES
+        + SIGNATURE_SEGMENT_OVERHEAD_BYTES
+        + BGPSEC_SIGNATURE_BYTES
+    )
+    return (
+        BGP_HEADER_BYTES
+        + WITHDRAWN_LEN_BYTES
+        + PATH_ATTR_LEN_BYTES
+        + ORIGIN_ATTR_BYTES
+        + NEXT_HOP_ATTR_BYTES
+        + BGPSEC_ATTR_OVERHEAD_BYTES
+        + per_as * as_path_length
+        + NLRI_BYTES
+    )

@@ -1,0 +1,380 @@
+"""Full-stack SCION network orchestration.
+
+Ties the substrates into one runnable system: core beaconing among the core
+ASes, intra-ISD beaconing inside every ISD, segment registration at the
+core path servers, on-demand path lookup through the path-server hierarchy,
+segment combination, and data-plane delivery over MAC-verified hop fields.
+The examples and the Table 1 experiment drive this class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..core.scoring import DiversityParams
+
+# NOTE: the dataplane modules import control.segments; to keep both packages
+# importable from either direction, the dataplane symbols are imported
+# lazily inside the methods that need them.
+from ..simulation.beaconing import (
+    AlgorithmFactory,
+    BeaconingConfig,
+    BeaconingMode,
+    BeaconingSimulation,
+    baseline_factory,
+    diversity_factory,
+)
+from ..topology.model import Topology
+from .messages import ControlMessageLog
+from .path_server import CorePathServer, LocalPathServer
+from .revocation import RevocationService
+from .segments import PathSegment, SegmentType
+
+__all__ = ["ScionNetwork"]
+
+
+def _factory(algorithm: str, params: Optional[DiversityParams]) -> AlgorithmFactory:
+    if algorithm == "baseline":
+        return baseline_factory()
+    if algorithm == "diversity":
+        return diversity_factory(params=params)
+    raise ValueError(f"unknown algorithm {algorithm!r}; use baseline|diversity")
+
+
+class ScionNetwork:
+    """A complete simulated SCION deployment over a topology.
+
+    Every AS needs an assigned ISD (``Topology`` nodes carry ``isd``); core
+    ASes originate beacons. ``run()`` executes the control plane; lookups
+    and packet delivery are available afterwards.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        algorithm: str = "diversity",
+        params: Optional[DiversityParams] = None,
+        core_config: Optional[BeaconingConfig] = None,
+        intra_config: Optional[BeaconingConfig] = None,
+        registration_limit: int = 5,
+    ) -> None:
+        self.topology = topology
+        self.algorithm = algorithm
+        self.registration_limit = registration_limit
+        self.log = ControlMessageLog()
+        self._factory = _factory(algorithm, params)
+        self.core_config = core_config or BeaconingConfig(
+            mode=BeaconingMode.CORE
+        )
+        self.intra_config = intra_config or BeaconingConfig(
+            mode=BeaconingMode.INTRA_ISD
+        )
+        for asn in topology.asns():
+            if topology.as_node(asn).isd is None:
+                raise ValueError(f"AS {asn} has no ISD assigned")
+        if not topology.core_asns():
+            raise ValueError("topology has no core AS")
+        self.core_sim: Optional[BeaconingSimulation] = None
+        self.intra_sims: Dict[int, BeaconingSimulation] = {}
+        self.core_servers: Dict[int, CorePathServer] = {}
+        self.local_servers: Dict[int, LocalPathServer] = {}
+        self.revocations: Optional[RevocationService] = None
+        self.now = 0.0
+        self._ran = False
+
+    # ------------------------------------------------------------- control
+
+    def run(self) -> "ScionNetwork":
+        """Run beaconing, build path servers, register segments."""
+        self.core_sim = BeaconingSimulation(
+            self.topology, self._factory, self.core_config
+        ).run()
+        self.now = self.core_sim.end_time
+        for isd in self._isds():
+            members = [
+                asn
+                for asn in self.topology.asns()
+                if self.topology.as_node(asn).isd == isd
+            ]
+            sub = self.topology.subtopology(members, name=f"isd-{isd}")
+            if not sub.core_asns() or not sub.non_core_asns():
+                continue
+            self.intra_sims[isd] = BeaconingSimulation(
+                sub, self._factory, self.intra_config
+            ).run()
+        self._build_path_servers()
+        self._register_segments()
+        self.revocations = RevocationService(
+            self.topology, self.core_servers, self.log
+        )
+        self._ran = True
+        return self
+
+    def _isds(self) -> List[int]:
+        return sorted(
+            {
+                self.topology.as_node(asn).isd  # type: ignore[misc]
+                for asn in self.topology.asns()
+            }
+        )
+
+    def _build_path_servers(self) -> None:
+        assert self.core_sim is not None
+        for asn in self.topology.core_asns():
+            node = self.topology.as_node(asn)
+            server = CorePathServer(asn, node.isd or 0, self.log)
+            self.core_servers[asn] = server
+            # Core segments held by this core AS: beacons from every other
+            # core origin, reversed into this-core-first orientation.
+            for origin in self.core_sim.originator_asns():
+                if origin == asn:
+                    continue
+                for pcb in self.core_sim.paths_at(asn, origin):
+                    segment = PathSegment.from_pcb(
+                        pcb, SegmentType.CORE
+                    ).reversed()
+                    server.store_core_segment(segment)
+        for server in self.core_servers.values():
+            server.peers = {
+                asn: peer
+                for asn, peer in self.core_servers.items()
+                if asn != server.asn
+            }
+        for asn in self.topology.non_core_asns():
+            node = self.topology.as_node(asn)
+            isd = node.isd or 0
+            core = self._isd_cores(isd)
+            if not core:
+                continue
+            local = LocalPathServer(
+                asn, isd, self.core_servers[core[0]], self.log
+            )
+            local.isd_core_servers = {
+                c: self.core_servers[c] for c in core
+            }
+            self.local_servers[asn] = local
+
+    def _isd_cores(self, isd: int) -> List[int]:
+        return sorted(
+            asn
+            for asn in self.topology.core_asns()
+            if self.topology.as_node(asn).isd == isd
+        )
+
+    def _register_segments(self) -> None:
+        """Leaf ASes register their best down-segments at the core path
+        servers of their ISD.
+
+        §2.2: "A core AS's path server stores all the intra-ISD path
+        segments that were registered by leaf ASes of its own ISD" — every
+        core server of the ISD receives the registration, so any of them
+        can answer (local or cross-ISD) down-segment queries for any leaf.
+        """
+        for isd, sim in self.intra_sims.items():
+            servers = [
+                self.core_servers[c]
+                for c in self._isd_cores(isd)
+                if c in self.core_servers
+            ]
+            if not servers:
+                continue
+            for asn in sim.participant_asns():
+                if self.topology.as_node(asn).is_core:
+                    continue
+                for origin in sim.originator_asns():
+                    beacons = sim.paths_at(asn, origin)
+                    for pcb in beacons[: self.registration_limit]:
+                        segment = PathSegment.from_pcb(pcb, SegmentType.DOWN)
+                        for server in servers:
+                            server.register_down_segment(
+                                segment, self.now, sender=asn
+                            )
+
+    def refresh_registrations(self, now: Optional[float] = None) -> None:
+        """Re-run the periodic path (de-)registration round (§4.1: 'Path
+        (de-)registration is typically performed every tens of minutes')."""
+        self._require_ran()
+        if now is not None:
+            self.now = now
+        self._register_segments()
+
+    # -------------------------------------------------------------- lookup
+
+    def up_segments(self, asn: int) -> List[PathSegment]:
+        """The AS's own up-segments, straight from its beacon store."""
+        node = self.topology.as_node(asn)
+        if node.is_core:
+            return []
+        sim = self.intra_sims.get(node.isd or 0)
+        if sim is None:
+            return []
+        segments: List[PathSegment] = []
+        for origin in sim.originator_asns():
+            for pcb in sim.paths_at(asn, origin):
+                segments.append(PathSegment.from_pcb(pcb, SegmentType.UP))
+        return segments
+
+    def lookup_paths(
+        self, src: int, dst: int, *, now: Optional[float] = None
+    ) -> List["EndToEndPath"]:
+        """End-to-end AS-level paths from ``src`` to ``dst``.
+
+        Walks the full lookup chain of Section 2.3: endpoint query at the
+        local path server, down-segment and core-segment lookups, then
+        segment combination (shortcuts and peering links included).
+        """
+        from ..dataplane.combinator import combine_segments
+
+        self._require_ran()
+        if src == dst:
+            raise ValueError("source and destination coincide")
+        when = self.now if now is None else now
+        src_node = self.topology.as_node(src)
+        dst_node = self.topology.as_node(dst)
+
+        local_server = self.local_servers.get(src)
+        if local_server is not None:
+            local_server.endpoint_lookup(when)
+
+        ups = [s for s in self.up_segments(src) if s.is_valid(when)]
+        src_cores: Set[int] = {src} if src_node.is_core else {
+            s.core_asn for s in ups
+        }
+
+        if dst_node.is_core:
+            downs: List[PathSegment] = []
+            dst_cores: Set[int] = {dst}
+        else:
+            downs = self._lookup_down(src, dst, dst_node.isd or 0, when)
+            dst_cores = {s.first_asn for s in downs}
+
+        cores: List[PathSegment] = []
+        for cu in sorted(src_cores):
+            for cd in sorted(dst_cores):
+                if cd == cu:
+                    continue
+                if local_server is not None:
+                    cores.extend(
+                        local_server.lookup_core_between(cu, cd, when)
+                    )
+                else:
+                    server = self.core_servers.get(cu)
+                    if server is not None:
+                        cores.extend(
+                            server.lookup_core(cd, when, requester=src)
+                        )
+
+        paths = combine_segments(
+            ups, cores, downs, topology=self.topology, now=when
+        )
+        # Single-segment paths the combinator does not synthesize: the
+        # destination *is* the source's ISD core (the up-segment alone is
+        # the path), or the source is the core a down-segment starts at.
+        from ..dataplane.combinator import EndToEndPath
+
+        for up in ups:
+            if up.last_asn == dst:
+                paths.append(
+                    EndToEndPath(
+                        asns=up.asns,
+                        link_ids=up.link_ids,
+                        expires_at=up.expires_at,
+                    )
+                )
+        for down in downs:
+            if down.first_asn == src:
+                paths.append(
+                    EndToEndPath(
+                        asns=down.asns,
+                        link_ids=down.link_ids,
+                        expires_at=down.expires_at,
+                    )
+                )
+        unique = {}
+        for path in paths:
+            if path.source == src and path.destination == dst:
+                unique.setdefault((path.asns, path.link_ids), path)
+        return sorted(
+            unique.values(), key=lambda p: (p.num_links, p.asns, p.link_ids)
+        )
+
+    def _lookup_down(
+        self, src: int, dst: int, dst_isd: int, when: float
+    ) -> List[PathSegment]:
+        local_server = self.local_servers.get(src)
+        if local_server is not None:
+            return local_server.lookup_down(dst, dst_isd, when)
+        # Core-AS sources query their own core path server directly.
+        server = self.core_servers.get(src)
+        if server is None:
+            return []
+        return server.lookup_down(dst, dst_isd, when, requester=src)
+
+    # ----------------------------------------------------------- data plane
+
+    def send_packet(
+        self,
+        src: int,
+        dst: int,
+        *,
+        payload_bytes: int = 0,
+        path: Optional["EndToEndPath"] = None,
+        now: Optional[float] = None,
+    ) -> List[int]:
+        """Deliver one packet; returns the AS-level trajectory."""
+        from ..dataplane.packet import (
+            HostAddress,
+            ScionPacket,
+            build_forwarding_path,
+        )
+        from ..dataplane.router import deliver
+
+        self._require_ran()
+        when = self.now if now is None else now
+        if path is None:
+            paths = self.lookup_paths(src, dst, now=when)
+            if not paths:
+                raise ValueError(f"no path from AS {src} to AS {dst}")
+            path = paths[0]
+        forwarding = build_forwarding_path(
+            self.topology,
+            path.asns,
+            path.link_ids,
+            timestamp=when,
+            expiry=path.expires_at,
+        )
+        packet = ScionPacket(
+            source=HostAddress(
+                self.topology.as_node(src).isd or 0, src
+            ),
+            destination=HostAddress(
+                self.topology.as_node(dst).isd or 0, dst
+            ),
+            path=forwarding,
+            payload_bytes=payload_bytes,
+        )
+        return deliver(self.topology, packet, now=when)
+
+    # ------------------------------------------------------------ failures
+
+    def fail_link(self, link_id: int) -> None:
+        """Fail a link: revoke segments and make routers drop the link."""
+        self._require_ran()
+        assert self.revocations is not None
+        self.revocations.revoke_link(link_id, self.now)
+
+    def usable_paths(self, src: int, dst: int) -> List["EndToEndPath"]:
+        """Paths not crossing any revoked link (post-SCMP failover view)."""
+        paths = self.lookup_paths(src, dst)
+        if self.revocations is None:
+            return paths
+        alive = self.revocations.filter_paths(
+            [p.link_ids for p in paths], self.now
+        )
+        alive_set = {tuple(p) for p in alive}
+        return [p for p in paths if p.link_ids in alive_set]
+
+    def _require_ran(self) -> None:
+        if not self._ran:
+            raise RuntimeError("call run() before using the network")

@@ -1,0 +1,327 @@
+"""The path-server infrastructure (Section 2.2, "Path Segment
+Dissemination").
+
+"A global path server infrastructure is used to disseminate path segments.
+Each AS contains a path server as a part of the control service. The
+infrastructure bears similarities to DNS, where information is fetched
+on-demand only. A core AS's path server stores all the intra-ISD path
+segments that were registered by leaf ASes of its own ISD, and core-path
+segments to reach other core ASes."
+
+Communication scopes (Table 1): an endpoint asks its local path server
+(AS-scope); a local path server asks a core path server of its ISD
+(ISD-scope: core-segment and down-segment requests); for destinations in
+other ISDs the core path server fetches from the *origin AS's* core path
+server (global scope), caching the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .messages import (
+    Component,
+    ControlMessageLog,
+    Scope,
+    lookup_request_size,
+    segment_wire_size,
+)
+from .segments import PathSegment, SegmentType
+
+__all__ = ["SegmentCache", "CorePathServer", "LocalPathServer"]
+
+
+class SegmentCache:
+    """A TTL cache of segment query results, keyed by destination AS (or
+    any hashable query key).
+
+    Entries expire at ``min(cache deadline, earliest segment expiry)`` so a
+    stale path is never served past its validity.
+    """
+
+    def __init__(self, ttl: float = 3600.0) -> None:
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        self.ttl = ttl
+        self._entries: Dict[object, Tuple[float, List[PathSegment]]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key, now: float) -> Optional[List[PathSegment]]:
+        entry = self._entries.get(key)
+        if entry is None or entry[0] <= now:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return list(entry[1])
+
+    def put(self, key, segments: List[PathSegment], now: float) -> None:
+        deadline = now + self.ttl
+        if segments:
+            deadline = min(deadline, min(s.expires_at for s in segments))
+        self._entries[key] = (deadline, list(segments))
+
+    def invalidate(self, key) -> None:
+        self._entries.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class CorePathServer:
+    """Path server of a core AS."""
+
+    def __init__(
+        self, asn: int, isd: int, log: Optional[ControlMessageLog] = None
+    ) -> None:
+        self.asn = asn
+        self.isd = isd
+        self.log = log if log is not None else ControlMessageLog()
+        #: Down-segments registered by this ISD's leaf ASes, by leaf ASN.
+        self._down: Dict[int, Dict[tuple, PathSegment]] = {}
+        #: Core segments by remote core ASN.
+        self._core: Dict[int, Dict[tuple, PathSegment]] = {}
+        #: Cached down-segments of remote ISDs, by destination ASN.
+        self.remote_cache = SegmentCache()
+        #: Peer core path servers by core ASN (for cross-ISD fetches).
+        self.peers: Dict[int, "CorePathServer"] = {}
+
+    # -------------------------------------------------------- registration
+
+    def register_down_segment(
+        self, segment: PathSegment, now: float, *, sender: Optional[int] = None
+    ) -> bool:
+        """Register a down-segment to a leaf of this ISD (intra-ISD scope)."""
+        if segment.segment_type is not SegmentType.DOWN:
+            raise ValueError("only down-segments are registered")
+        if not segment.is_valid(now):
+            return False
+        leaf = segment.last_asn
+        bucket = self._down.setdefault(leaf, {})
+        bucket[segment.key()] = segment
+        self.log.log(
+            Component.PATH_REGISTRATION,
+            Scope.ISD,
+            segment_wire_size(segment),
+            now,
+            sender if sender is not None else leaf,
+            self.asn,
+        )
+        return True
+
+    def deregister_down_segments(self, leaf: int, now: float) -> int:
+        """De-register all of a leaf's down-segments (intra-ISD scope)."""
+        removed = len(self._down.pop(leaf, {}))
+        if removed:
+            self.log.log(
+                Component.PATH_REGISTRATION,
+                Scope.ISD,
+                lookup_request_size(),
+                now,
+                leaf,
+                self.asn,
+            )
+        return removed
+
+    def store_core_segment(self, segment: PathSegment) -> None:
+        """Store a core segment learned through core beaconing. (Beaconing
+        traffic itself is accounted by the beaconing simulation.)"""
+        if segment.segment_type is not SegmentType.CORE:
+            raise ValueError("expected a core segment")
+        remote = segment.first_asn if segment.last_asn == self.asn else segment.last_asn
+        self._core.setdefault(remote, {})[segment.key()] = segment
+
+    def revoke_link(self, link_id: int, now: float) -> int:
+        """Drop all registered segments crossing a failed link."""
+        removed = 0
+        for bucket in list(self._down.values()) + list(self._core.values()):
+            for key in [k for k, s in bucket.items() if s.contains_link(link_id)]:
+                del bucket[key]
+                removed += 1
+        return removed
+
+    # ------------------------------------------------------------- lookups
+
+    def down_segments(self, leaf: int, now: float) -> List[PathSegment]:
+        return [
+            s for s in self._down.get(leaf, {}).values() if s.is_valid(now)
+        ]
+
+    def core_segments(self, remote: int, now: float) -> List[PathSegment]:
+        return [
+            s for s in self._core.get(remote, {}).values() if s.is_valid(now)
+        ]
+
+    def lookup_down(
+        self, dst_asn: int, dst_isd: int, now: float, *, requester: int
+    ) -> List[PathSegment]:
+        """Serve a down-segment query, fetching cross-ISD on demand."""
+        if dst_isd == self.isd:
+            segments = self.down_segments(dst_asn, now)
+            self._log_response(
+                Component.DOWN_SEGMENT_LOOKUP, Scope.ISD, segments, now,
+                requester, subject=dst_asn,
+            )
+            return segments
+        cached = self.remote_cache.get(dst_asn, now)
+        if cached is not None:
+            segments = [s for s in cached if s.is_valid(now)]
+            self._log_response(
+                Component.DOWN_SEGMENT_LOOKUP, Scope.ISD, segments, now,
+                requester, subject=dst_asn,
+            )
+            return segments
+        segments = self._fetch_remote(dst_asn, dst_isd, now)
+        self.remote_cache.put(dst_asn, segments, now)
+        self._log_response(
+            Component.DOWN_SEGMENT_LOOKUP, Scope.ISD, segments, now,
+            requester, subject=dst_asn,
+        )
+        return segments
+
+    def _fetch_remote(
+        self, dst_asn: int, dst_isd: int, now: float
+    ) -> List[PathSegment]:
+        """Unicast fetch from a core path server of the destination ISD."""
+        for peer in self.peers.values():
+            if peer.isd != dst_isd:
+                continue
+            self.log.log(
+                Component.DOWN_SEGMENT_LOOKUP,
+                Scope.GLOBAL,
+                lookup_request_size(),
+                now,
+                self.asn,
+                peer.asn,
+                subject=dst_asn,
+            )
+            segments = peer.down_segments(dst_asn, now)
+            self.log.log(
+                Component.DOWN_SEGMENT_LOOKUP,
+                Scope.GLOBAL,
+                sum(segment_wire_size(s) for s in segments)
+                or lookup_request_size(),
+                now,
+                peer.asn,
+                self.asn,
+                subject=dst_asn,
+            )
+            if segments:
+                return segments
+        return []
+
+    def lookup_core(
+        self, dst_core: int, now: float, *, requester: int
+    ) -> List[PathSegment]:
+        segments = self.core_segments(dst_core, now)
+        self._log_response(
+            Component.CORE_SEGMENT_LOOKUP, Scope.ISD, segments, now,
+            requester, subject=dst_core,
+        )
+        return segments
+
+    def _log_response(
+        self,
+        component: Component,
+        scope: Scope,
+        segments: List[PathSegment],
+        now: float,
+        requester: int,
+        *,
+        subject: Optional[int] = None,
+    ) -> None:
+        self.log.log(
+            component,
+            scope,
+            lookup_request_size(),
+            now,
+            requester,
+            self.asn,
+            subject=subject,
+        )
+        self.log.log(
+            component,
+            scope,
+            sum(segment_wire_size(s) for s in segments)
+            or lookup_request_size(),
+            now,
+            self.asn,
+            requester,
+            subject=subject,
+        )
+
+
+class LocalPathServer:
+    """Path server of a non-core AS, caching core and down segments."""
+
+    def __init__(
+        self,
+        asn: int,
+        isd: int,
+        core_server: CorePathServer,
+        log: Optional[ControlMessageLog] = None,
+        *,
+        cache_ttl: float = 3600.0,
+    ) -> None:
+        self.asn = asn
+        self.isd = isd
+        self.core_server = core_server
+        #: Other core path servers of this ISD, for core segments that
+        #: start at a different core AS than the bound one.
+        self.isd_core_servers: Dict[int, CorePathServer] = {
+            core_server.asn: core_server
+        }
+        self.log = log if log is not None else core_server.log
+        self.down_cache = SegmentCache(cache_ttl)
+        self.core_cache = SegmentCache(cache_ttl)
+
+    def lookup_down(
+        self, dst_asn: int, dst_isd: int, now: float
+    ) -> List[PathSegment]:
+        cached = self.down_cache.get(dst_asn, now)
+        if cached is not None:
+            return [s for s in cached if s.is_valid(now)]
+        segments = self.core_server.lookup_down(
+            dst_asn, dst_isd, now, requester=self.asn
+        )
+        self.down_cache.put(dst_asn, segments, now)
+        return segments
+
+    def lookup_core(self, dst_core: int, now: float) -> List[PathSegment]:
+        return self.lookup_core_between(self.core_server.asn, dst_core, now)
+
+    def lookup_core_between(
+        self, src_core: int, dst_core: int, now: float
+    ) -> List[PathSegment]:
+        """Core segments from ``src_core`` to ``dst_core``, cached.
+
+        ``src_core`` must be a core AS of this ISD whose path server is
+        known (the bound core server, or one registered in
+        ``isd_core_servers``).
+        """
+        key = (src_core, dst_core)
+        cached = self.core_cache.get(key, now)
+        if cached is not None:
+            return [s for s in cached if s.is_valid(now)]
+        server = (
+            self.core_server
+            if src_core == self.core_server.asn
+            else self.isd_core_servers.get(src_core)
+        )
+        if server is None:
+            return []
+        segments = server.lookup_core(dst_core, now, requester=self.asn)
+        self.core_cache.put(key, segments, now)
+        return segments
+
+    def endpoint_lookup(self, now: float) -> None:
+        """Account one endpoint query against the local server (AS scope)."""
+        self.log.log(
+            Component.ENDPOINT_PATH_LOOKUP,
+            Scope.AS,
+            lookup_request_size(),
+            now,
+            self.asn,
+            self.asn,
+        )

@@ -1,0 +1,138 @@
+"""Path revocation (§4.1, "Path Revocations").
+
+"Path revocations triggered by failing links have two reactions depending
+on where the failure occurred. The AS in which the failing link is located
+revokes the affected path segments at the core path server, which is an
+intra-ISD operation. Endpoints and border routers that use a path
+containing a failed link are informed of the link failure through SCION
+Control Message Protocol (SCMP) messages sent by the border router
+observing the failed link."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..topology.model import Topology
+from .messages import Component, ControlMessageLog, Scope, revocation_size
+from .path_server import CorePathServer
+from .segments import PathSegment
+
+__all__ = ["Revocation", "SCMPNotification", "RevocationService"]
+
+
+@dataclass(frozen=True)
+class Revocation:
+    """A signed statement that an interface (hence a link) has failed."""
+
+    link_id: int
+    issuing_asn: int
+    issued_at: float
+    #: Validity of the revocation itself; failures are re-announced while
+    #: they persist.
+    lifetime: float = 600.0
+
+    @property
+    def expires_at(self) -> float:
+        return self.issued_at + self.lifetime
+
+    def is_valid(self, now: float) -> bool:
+        return self.issued_at <= now < self.expires_at
+
+
+@dataclass(frozen=True)
+class SCMPNotification:
+    """An SCMP message telling a path user about a failed link."""
+
+    revocation: Revocation
+    notified_endpoint: int
+
+
+class RevocationService:
+    """Coordinates the two revocation reactions for one topology."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        core_servers: Dict[int, CorePathServer],
+        log: Optional[ControlMessageLog] = None,
+    ) -> None:
+        self.topology = topology
+        self.core_servers = dict(core_servers)
+        self.log = log if log is not None else ControlMessageLog()
+        self._revoked: Dict[int, Revocation] = {}
+
+    # ------------------------------------------------------------ reactions
+
+    def revoke_link(self, link_id: int, now: float) -> Revocation:
+        """Reaction 1: the AS owning the link revokes affected segments at
+        the core path servers of its ISD (intra-ISD scope)."""
+        link = self.topology.link(link_id)
+        issuing_asn = link.a.asn
+        revocation = Revocation(
+            link_id=link_id, issuing_asn=issuing_asn, issued_at=now
+        )
+        self._revoked[link_id] = revocation
+        isd = self.topology.as_node(issuing_asn).isd
+        for server in self.core_servers.values():
+            if isd is not None and server.isd != isd:
+                continue
+            removed = server.revoke_link(link_id, now)
+            self.log.log(
+                Component.PATH_REVOCATION,
+                Scope.ISD,
+                revocation_size(),
+                now,
+                issuing_asn,
+                server.asn,
+            )
+            if removed == 0:
+                continue
+        return revocation
+
+    def notify_path_users(
+        self,
+        revocation: Revocation,
+        active_paths: Dict[int, Sequence[Sequence[int]]],
+        now: float,
+    ) -> List[SCMPNotification]:
+        """Reaction 2: SCMP messages from the border router observing the
+        failure to every endpoint whose active path crosses the link.
+
+        ``active_paths`` maps an endpoint ASN to the link-id sequences of
+        the paths it currently uses.
+        """
+        notifications: List[SCMPNotification] = []
+        for endpoint, paths in sorted(active_paths.items()):
+            if any(revocation.link_id in path for path in paths):
+                notifications.append(
+                    SCMPNotification(revocation, endpoint)
+                )
+                self.log.log(
+                    Component.PATH_REVOCATION,
+                    Scope.AS,
+                    revocation_size(),
+                    now,
+                    revocation.issuing_asn,
+                    endpoint,
+                )
+        return notifications
+
+    # -------------------------------------------------------------- queries
+
+    def is_revoked(self, link_id: int, now: float) -> bool:
+        revocation = self._revoked.get(link_id)
+        return revocation is not None and revocation.is_valid(now)
+
+    def filter_paths(
+        self, paths: Iterable[Sequence[int]], now: float
+    ) -> List[Sequence[int]]:
+        """Paths not crossing any currently revoked link (the endpoint's
+        immediate failover: 'hosts switch to a different path as soon as
+        the SCMP message is received')."""
+        return [
+            path
+            for path in paths
+            if not any(self.is_revoked(link_id, now) for link_id in path)
+        ]

@@ -1,0 +1,284 @@
+"""Path-diversity-based path construction algorithm (Section 4.2, Alg. 1).
+
+A distributed greedy algorithm that maximizes link-disjointness of the
+disseminated paths while suppressing redundant retransmissions. Per
+[origin AS, neighbor AS] pair and beaconing interval it iteratively selects
+up to ``dissemination_limit`` (candidate beacon, egress interface)
+combinations by score:
+
+* the **link diversity score** of a candidate path is derived from the
+  geometric mean of the Link History Table counters of its links (including
+  the egress link);
+* the **final score** maps the diversity score through an exponent that
+  depends on the beacon's age/lifetime (Eq. 2, never-sent paths) or on the
+  remaining lifetime of the previously-sent instance (Eq. 3, re-sends);
+* selection stops when no candidate exceeds the score threshold.
+
+Implementation notes beyond the pseudo-code (each called out in DESIGN.md):
+
+* The diversity score stored in the Sent PCBs List is computed *after*
+  incrementing the counters for the selected path, i.e. it reflects the
+  path's jointness as a member of the sent set. Storing the pre-increment
+  score would freeze fully novel paths at score 1.0, and ``1.0 ** g == 1``
+  would defeat the retransmission suppression entirely.
+* Counters count the number of *valid* sent paths containing a link, so a
+  re-send of a still-valid path refreshes its timers without incrementing,
+  and counters are decremented when a sent record expires.
+* Ties (frequent among fresh beacons whose exponent is near 0) break by
+  higher diversity score, then shorter path, then a deterministic key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..topology.model import Link
+from .beacon_store import BeaconStore
+from .link_history import LinkHistory, LinkHistoryTable
+from .pcb import PCB
+from .policy import PathConstructionAlgorithm, Transmission
+from .scoring import (
+    DiversityParams,
+    diversity_score,
+    exponent_f,
+    exponent_g,
+    final_score,
+)
+from .sent_registry import SentRecord, SentRegistry
+
+__all__ = ["DiversityAlgorithm"]
+
+
+@dataclass(slots=True)
+class _Candidate:
+    """One (stored beacon, egress link) combination under evaluation."""
+
+    pcb: PCB
+    link: Link
+    #: Path links of the beacon plus the egress link — the links whose
+    #: counters this candidate touches.
+    counted_links: Tuple[int, ...]
+    path_key: Tuple[int, Tuple[int, ...]]
+    #: Cached (history version, diversity score) for fresh candidates.
+    cached_version: int = -1
+    cached_ds: float = 0.0
+
+
+class DiversityAlgorithm(PathConstructionAlgorithm):
+    """Algorithm 1 of the paper, with per-neighbor dissemination limits."""
+
+    name = "diversity"
+
+    def __init__(
+        self,
+        asn: int,
+        topology,
+        *,
+        dissemination_limit: int = 5,
+        params: Optional[DiversityParams] = None,
+        per_interface_limit: bool = False,
+    ) -> None:
+        """``per_interface_limit`` is an ablation knob: apply the
+        dissemination limit per egress interface (like the baseline)
+        instead of per neighbor AS, quantifying the redundancy the paper's
+        per-neighbor grouping avoids on parallel links (DESIGN.md #3)."""
+        super().__init__(asn, topology, dissemination_limit=dissemination_limit)
+        self.params = params or DiversityParams()
+        self.params.validate()
+        self.per_interface_limit = per_interface_limit
+        self.history = LinkHistory()
+        self.sent = SentRegistry()
+
+    # ------------------------------------------------------------ lifecycle
+
+    def _expire_sent(self, now: float) -> None:
+        """Purge expired sent records and release their counters."""
+        for record in self.sent.purge_expired(now):
+            self.history.table(record.origin, record.neighbor).decrement(
+                record.counted_links
+            )
+
+    # -------------------------------------------------------------- select
+
+    def select(
+        self,
+        store: BeaconStore,
+        egress_links: Sequence[Link],
+        now: float,
+    ) -> List[Transmission]:
+        self._expire_sent(now)
+        by_neighbor: Dict[int, List[Link]] = {}
+        for link in egress_links:
+            group = (
+                link.link_id
+                if self.per_interface_limit
+                else self._neighbor_of(link)
+            )
+            by_neighbor.setdefault(group, []).append(link)
+
+        transmissions: List[Transmission] = []
+        for origin in sorted(store.origins()):
+            beacons = store.beacons(origin, now)
+            if not beacons:
+                continue
+            for group in sorted(by_neighbor):
+                links = by_neighbor[group]
+                # The Link History Table stays keyed by the actual neighbor
+                # AS in both limit modes (a group is a single interface in
+                # the per-interface ablation).
+                neighbor = self._neighbor_of(links[0])
+                transmissions.extend(
+                    self._select_pair(origin, beacons, neighbor, links, now)
+                )
+        return transmissions
+
+    def _select_pair(
+        self,
+        origin: int,
+        beacons: Sequence[PCB],
+        neighbor: int,
+        links: Sequence[Link],
+        now: float,
+    ) -> List[Transmission]:
+        """The per-[origin AS, neighbor AS] greedy loop of Algorithm 1.
+
+        Implemented as a lazy max-heap instead of the pseudo-code's full
+        rescan per iteration: within one selection round counters only
+        *increase* (decrements happen at expiry, before selection), so
+        candidate scores only decrease — a popped entry whose recomputed
+        score dropped is pushed back and the maximum remains exact.
+        """
+        table = self.history.table(origin, neighbor)
+        threshold = self.params.score_threshold
+        heap: List[Tuple] = []
+        for pcb in beacons:
+            if pcb.contains_as(neighbor):
+                continue
+            path_links = pcb.link_ids()
+            path_length = pcb.path_length
+            for link in links:
+                counted = path_links + (link.link_id,)
+                candidate = _Candidate(
+                    pcb=pcb,
+                    link=link,
+                    counted_links=counted,
+                    path_key=(origin, counted),
+                )
+                rank = self._rank(candidate, table, now, path_length)
+                if rank is not None:
+                    heap.append(rank)
+        heapq.heapify(heap)
+
+        selected: List[Transmission] = []
+        while heap and len(selected) < self.dissemination_limit:
+            entry = heapq.heappop(heap)
+            candidate = entry[-1]
+            rank = self._rank(
+                candidate, table, now, candidate.pcb.path_length
+            )
+            if rank is None:
+                continue
+            if rank[:-1] > entry[:-1]:  # any priority component degraded
+                heapq.heappush(heap, rank)
+                continue
+            self._commit(candidate, table, origin, neighbor, now)
+            selected.append(
+                Transmission(
+                    pcb=candidate.pcb.extend(candidate.link.link_id, neighbor),
+                    link=candidate.link,
+                    sender=self.asn,
+                    receiver=neighbor,
+                )
+            )
+        return selected
+
+    def _rank(
+        self,
+        candidate: _Candidate,
+        table: LinkHistoryTable,
+        now: float,
+        path_length: int,
+    ) -> Optional[Tuple]:
+        """Min-heap priority tuple, or None below the score threshold.
+
+        Priority (best first): higher score, higher diversity score, lower
+        total link-counter coverage (a second disjointness signal: the
+        geometric mean is 0 for *any* path containing one unused link,
+        while the counter sum still separates fully disjoint paths from
+        partially overlapping ones), shorter path, deterministic key. Every
+        component
+        degrades monotonically as counters grow within a selection round,
+        which the lazy-heap revalidation in ``_select_pair`` relies on.
+        """
+        score, ds = self._score(candidate, table, now)
+        if score <= self.params.score_threshold:
+            return None
+        counter_sum = sum(
+            table.counter(link_id) for link_id in candidate.counted_links
+        )
+        return (
+            -score,
+            -ds,
+            counter_sum,
+            path_length,
+            candidate.path_key,
+            candidate,
+        )
+
+    def _score(
+        self,
+        candidate: _Candidate,
+        table: LinkHistoryTable,
+        now: float,
+    ) -> Tuple[float, float]:
+        """Eq. (1) score and the diversity score used for tie-breaking."""
+        record = self.sent.record(candidate.link.link_id, candidate.path_key)
+        if record is not None and record.is_valid(now):
+            # Previously sent: reuse the score stored at send time (Eq. 3).
+            exponent = exponent_g(
+                record.remaining_lifetime(now),
+                candidate.pcb.remaining_lifetime(now),
+                self.params,
+            )
+            return final_score(record.diversity_score, exponent), record.diversity_score
+        version = table.version(candidate.counted_links)
+        if version != candidate.cached_version:
+            gm = table.geometric_mean(candidate.counted_links)
+            candidate.cached_ds = diversity_score(gm, self.params)
+            candidate.cached_version = version
+        exponent = exponent_f(
+            candidate.pcb.age(now), candidate.pcb.lifetime, self.params
+        )
+        return final_score(candidate.cached_ds, exponent), candidate.cached_ds
+
+    def _commit(
+        self,
+        candidate: _Candidate,
+        table: LinkHistoryTable,
+        origin: int,
+        neighbor: int,
+        now: float,
+    ) -> None:
+        """Update Link History Table and Sent PCBs List for a selection."""
+        record = self.sent.record(candidate.link.link_id, candidate.path_key)
+        if record is not None and record.is_valid(now):
+            record.refresh(candidate.pcb, now)
+            return
+        table.increment(candidate.counted_links)
+        self.sent.add(
+            candidate.link.link_id,
+            SentRecord(
+                path_key=candidate.path_key,
+                counted_links=candidate.counted_links,
+                diversity_score=diversity_score(
+                    table.geometric_mean(candidate.counted_links), self.params
+                ),
+                issued_at=candidate.pcb.issued_at,
+                lifetime=candidate.pcb.lifetime,
+                sent_at=now,
+                origin=origin,
+                neighbor=neighbor,
+            ),
+        )

@@ -1,0 +1,98 @@
+"""Link History Tables (Section 4.2).
+
+"To perform the link diversity score calculations, the algorithm stores a
+Link History Table per [origin AS, neighbor AS] pair. Each table is a
+one-to-one map from link_ids to their associated counters ... the counter
+counts the number of times the link is part of a **valid** path from the
+origin AS to the neighbor AS."
+
+Because counters count *valid* sent paths, they are decremented when a sent
+path's beacon expires (handled by the algorithm via the Sent PCBs List), and
+a re-send of a still-valid path refreshes timers without incrementing again.
+
+Each table also maintains a monotonically increasing *version* per link so
+diversity scores can be cached and invalidated cheaply.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Tuple
+
+__all__ = ["LinkHistoryTable", "LinkHistory"]
+
+
+class LinkHistoryTable:
+    """Counter table for one [origin AS, neighbor AS] pair."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[int, int] = {}
+        self._version: Dict[int, int] = {}
+        self.total_version = 0
+
+    def counter(self, link_id: int) -> int:
+        return self._counters.get(link_id, 0)
+
+    def increment(self, link_ids: Iterable[int]) -> None:
+        for link_id in link_ids:
+            self._counters[link_id] = self._counters.get(link_id, 0) + 1
+            self._version[link_id] = self._version.get(link_id, 0) + 1
+            self.total_version += 1
+
+    def decrement(self, link_ids: Iterable[int]) -> None:
+        for link_id in link_ids:
+            current = self._counters.get(link_id, 0)
+            if current <= 0:
+                raise ValueError(f"counter underflow for link {link_id}")
+            if current == 1:
+                del self._counters[link_id]
+            else:
+                self._counters[link_id] = current - 1
+            self._version[link_id] = self._version.get(link_id, 0) + 1
+            self.total_version += 1
+
+    def version(self, link_ids: Iterable[int]) -> int:
+        """Sum of per-link versions; changes iff any counter changed."""
+        return sum(self._version.get(link_id, 0) for link_id in link_ids)
+
+    def geometric_mean(self, link_ids: Tuple[int, ...]) -> float:
+        """Geometric mean of the counters of the links on a path.
+
+        A path containing any never-used link has geometric mean 0 — it is
+        maximally novel. Empty paths (an origin beacon before appending the
+        egress link) also score 0.
+        """
+        if not link_ids:
+            return 0.0
+        log_sum = 0.0
+        for link_id in link_ids:
+            count = self._counters.get(link_id, 0)
+            if count == 0:
+                return 0.0
+            log_sum += math.log(count)
+        return math.exp(log_sum / len(link_ids))
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+
+class LinkHistory:
+    """All Link History Tables of one beacon server, keyed by
+    (origin AS, neighbor AS)."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[Tuple[int, int], LinkHistoryTable] = {}
+
+    def table(self, origin: int, neighbor: int) -> LinkHistoryTable:
+        key = (origin, neighbor)
+        table = self._tables.get(key)
+        if table is None:
+            table = LinkHistoryTable()
+            self._tables[key] = table
+        return table
+
+    def tables(self) -> Dict[Tuple[int, int], LinkHistoryTable]:
+        return dict(self._tables)
+
+    def __len__(self) -> int:
+        return len(self._tables)

@@ -1,0 +1,228 @@
+"""End-to-end path combination (Sections 2.2/2.3).
+
+"Each end-to-end path consists of up to three path segments: core-path,
+up-path, and down-path segments. ... Shortcut paths that avoid a core AS
+are possible, if the up- and down-path contain the same AS, or if a peering
+link is available between an AS in the up-path and an AS in the down-path
+segment."
+
+The combinator takes the segments an endpoint fetched and produces every
+valid loop-free AS-level end-to-end path:
+
+* **full combinations** up + core + down (or fewer segments when an
+  endpoint sits in a core AS, or both endpoints share an ISD core);
+* **shortcuts** crossing over at a common non-core AS of the up- and
+  down-segments;
+* **peering shortcuts** over a peering link between an up-segment AS and a
+  down-segment AS (the combinator consults the topology for peering links;
+  the production control plane embeds them in the PCBs — an equivalent
+  information source).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..control.segments import PathSegment, SegmentType
+from ..topology.model import Relationship, Topology
+
+__all__ = ["EndToEndPath", "combine_segments"]
+
+
+@dataclass(frozen=True)
+class EndToEndPath:
+    """A forwarding-order AS-level path with its provenance."""
+
+    asns: Tuple[int, ...]
+    link_ids: Tuple[int, ...]
+    expires_at: float
+    is_shortcut: bool = False
+    uses_peering: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.link_ids) != len(self.asns) - 1:
+            raise ValueError("link_ids must align with consecutive AS pairs")
+
+    @property
+    def source(self) -> int:
+        return self.asns[0]
+
+    @property
+    def destination(self) -> int:
+        return self.asns[-1]
+
+    @property
+    def num_links(self) -> int:
+        return len(self.link_ids)
+
+    def is_loop_free(self) -> bool:
+        return len(self.asns) == len(set(self.asns))
+
+
+def _join(
+    *parts: Tuple[Sequence[int], Sequence[int]],
+) -> Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+    """Concatenate (asns, link_ids) parts whose junction ASes coincide."""
+    asns: List[int] = []
+    links: List[int] = []
+    for part_asns, part_links in parts:
+        if not part_asns:
+            return None
+        if asns:
+            if asns[-1] != part_asns[0]:
+                return None
+            asns.extend(part_asns[1:])
+        else:
+            asns.extend(part_asns)
+        links.extend(part_links)
+    return tuple(asns), tuple(links)
+
+
+def _emit(
+    results: List[EndToEndPath],
+    seen: Set[Tuple[Tuple[int, ...], Tuple[int, ...]]],
+    joined,
+    expires_at: float,
+    *,
+    is_shortcut: bool = False,
+    uses_peering: bool = False,
+) -> None:
+    if joined is None:
+        return
+    asns, link_ids = joined
+    if len(asns) != len(set(asns)):
+        return  # loop: crossing the same AS twice is forbidden
+    key = (asns, link_ids)
+    if key in seen:
+        return
+    seen.add(key)
+    results.append(
+        EndToEndPath(
+            asns=asns,
+            link_ids=link_ids,
+            expires_at=expires_at,
+            is_shortcut=is_shortcut,
+            uses_peering=uses_peering,
+        )
+    )
+
+
+def combine_segments(
+    up_segments: Sequence[PathSegment],
+    core_segments: Sequence[PathSegment],
+    down_segments: Sequence[PathSegment],
+    *,
+    topology: Optional[Topology] = None,
+    now: float = 0.0,
+) -> List[EndToEndPath]:
+    """All valid end-to-end paths from the given segments.
+
+    ``up_segments`` run leaf->core (source side), ``core_segments`` run
+    between core ASes in forwarding order (source core first), and
+    ``down_segments`` run core->leaf (destination side). Any of the three
+    lists may be empty: a core-AS source needs no up-segment, a core-AS
+    destination no down-segment, and same-core pairs no core segment.
+    Expired segments are skipped. Peering shortcuts need ``topology``.
+    """
+    ups = [s for s in up_segments if s.is_valid(now)]
+    cores = [s for s in core_segments if s.is_valid(now)]
+    downs = [s for s in down_segments if s.is_valid(now)]
+    for segment, expected in (
+        *((s, SegmentType.UP) for s in ups),
+        *((s, SegmentType.CORE) for s in cores),
+        *((s, SegmentType.DOWN) for s in downs),
+    ):
+        if segment.segment_type is not expected:
+            raise ValueError(
+                f"segment {segment.key()} used as {expected.value}"
+            )
+
+    results: List[EndToEndPath] = []
+    seen: Set[Tuple[Tuple[int, ...], Tuple[int, ...]]] = set()
+
+    def expiry(*segments: PathSegment) -> float:
+        return min(s.expires_at for s in segments)
+
+    # ---- up + core + down -------------------------------------------------
+    # A missing up (or down) segment is the *caller's* statement that the
+    # source (destination) is a core AS — an empty input list, not a list
+    # whose entries all expired.
+    up_options: List[Optional[PathSegment]] = list(ups) if up_segments else [None]
+    down_options: List[Optional[PathSegment]] = (
+        list(downs) if down_segments else [None]
+    )
+    for core in cores:
+        for up in up_options:
+            if up is not None and up.last_asn != core.first_asn:
+                continue
+            for down in down_options:
+                if down is not None and down.first_asn != core.last_asn:
+                    continue
+                parts = []
+                segs = []
+                if up is not None:
+                    parts.append((up.asns, up.link_ids))
+                    segs.append(up)
+                parts.append((core.asns, core.link_ids))
+                segs.append(core)
+                if down is not None:
+                    parts.append((down.asns, down.link_ids))
+                    segs.append(down)
+                _emit(results, seen, _join(*parts), expiry(*segs))
+
+    # ---- up + down at the same core AS (no core segment) ------------------
+    for up in ups:
+        for down in downs:
+            if up.last_asn == down.first_asn:
+                _emit(
+                    results,
+                    seen,
+                    _join((up.asns, up.link_ids), (down.asns, down.link_ids)),
+                    expiry(up, down),
+                )
+
+    # ---- shortcut: common non-core AS in up and down ----------------------
+    for up in ups:
+        for down in downs:
+            common = set(up.asns[:-1]) & set(down.asns[1:])
+            for crossover in common:
+                i = up.asns.index(crossover)
+                j = down.asns.index(crossover)
+                _emit(
+                    results,
+                    seen,
+                    _join(
+                        (up.asns[: i + 1], up.link_ids[:i]),
+                        (down.asns[j:], down.link_ids[j:]),
+                    ),
+                    expiry(up, down),
+                    is_shortcut=True,
+                )
+
+    # ---- peering shortcut --------------------------------------------------
+    if topology is not None:
+        for up in ups:
+            for down in downs:
+                for i, up_asn in enumerate(up.asns[:-1]):
+                    for j, down_asn in enumerate(down.asns[1:], start=1):
+                        if up_asn == down_asn:
+                            continue
+                        for link in topology.links_between(up_asn, down_asn):
+                            if link.relationship is not Relationship.PEER_PEER:
+                                continue
+                            _emit(
+                                results,
+                                seen,
+                                _join(
+                                    (up.asns[: i + 1], up.link_ids[:i]),
+                                    ((up_asn, down_asn), (link.link_id,)),
+                                    (down.asns[j:], down.link_ids[j:]),
+                                ),
+                                expiry(up, down),
+                                is_shortcut=True,
+                                uses_peering=True,
+                            )
+
+    results.sort(key=lambda path: (path.num_links, path.asns, path.link_ids))
+    return results

@@ -1,0 +1,124 @@
+"""Hop fields and packet-carried forwarding state (Section 2.3).
+
+"The path segments contain compact hop-fields, that encode information
+about which interfaces may be used to enter and leave an AS. The hop-fields
+are cryptographically protected, preventing path alteration."
+
+Each AS authenticates its hop field with a MAC computed under its local
+forwarding key, chained over the previous hop field's MAC so that a hop
+cannot be spliced into a different path. A keyed BLAKE2b truncated to 6
+bytes stands in for the AES-CMAC of the production implementation — the
+evaluation needs the *semantics* (alteration detection, chaining) and the
+*size*, not the cipher.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = [
+    "MAC_BYTES",
+    "HOP_FIELD_BYTES",
+    "INFO_FIELD_BYTES",
+    "forwarding_key",
+    "compute_mac",
+    "HopField",
+    "make_hop_field",
+]
+
+MAC_BYTES = 6
+#: ingress (2) + egress (2) + expiry (1) + flags (1) + MAC (6).
+HOP_FIELD_BYTES = 12
+#: timestamp (4) + segment id (2) + flags/hop count (2).
+INFO_FIELD_BYTES = 8
+
+
+def forwarding_key(asn: int, secret: bytes = b"repro-forwarding") -> bytes:
+    """Derive the AS-local forwarding key (toy KDF, deterministic)."""
+    return hashlib.blake2b(
+        asn.to_bytes(8, "big"), key=secret, digest_size=16
+    ).digest()
+
+
+def compute_mac(
+    key: bytes,
+    timestamp: float,
+    ingress_ifid: int,
+    egress_ifid: int,
+    expiry: float,
+    prev_mac: bytes,
+) -> bytes:
+    """Chained hop-field MAC."""
+    payload = b"|".join(
+        (
+            int(timestamp).to_bytes(8, "big"),
+            ingress_ifid.to_bytes(4, "big"),
+            egress_ifid.to_bytes(4, "big"),
+            int(expiry).to_bytes(8, "big"),
+            prev_mac,
+        )
+    )
+    return hashlib.blake2b(payload, key=key, digest_size=MAC_BYTES).digest()
+
+
+@dataclass(frozen=True)
+class HopField:
+    """One AS's entry in the packet-carried forwarding state.
+
+    ``ingress_ifid``/``egress_ifid`` are the interface ids the packet must
+    use to enter/leave the AS, in *forwarding order*; 0 marks the local
+    endpoint side (no inter-domain interface).
+    """
+
+    asn: int
+    ingress_ifid: int
+    egress_ifid: int
+    expiry: float
+    mac: bytes
+
+    def verify(
+        self, timestamp: float, prev_mac: bytes, *, key: Optional[bytes] = None
+    ) -> bool:
+        """Check the MAC under the AS's forwarding key."""
+        expected = compute_mac(
+            key if key is not None else forwarding_key(self.asn),
+            timestamp,
+            self.ingress_ifid,
+            self.egress_ifid,
+            self.expiry,
+            prev_mac,
+        )
+        return expected == self.mac
+
+    def is_expired(self, now: float) -> bool:
+        return now >= self.expiry
+
+
+def make_hop_field(
+    asn: int,
+    ingress_ifid: int,
+    egress_ifid: int,
+    *,
+    timestamp: float,
+    expiry: float,
+    prev_mac: bytes = b"\x00" * MAC_BYTES,
+    key: Optional[bytes] = None,
+) -> HopField:
+    """Create an authenticated hop field for ``asn``."""
+    mac = compute_mac(
+        key if key is not None else forwarding_key(asn),
+        timestamp,
+        ingress_ifid,
+        egress_ifid,
+        expiry,
+        prev_mac,
+    )
+    return HopField(
+        asn=asn,
+        ingress_ifid=ingress_ifid,
+        egress_ifid=egress_ifid,
+        expiry=expiry,
+        mac=mac,
+    )

@@ -1,0 +1,88 @@
+"""Border routers: stateless packet forwarding over hop fields.
+
+SCION border routers keep no inter-domain forwarding tables — everything a
+router needs is in the packet (PCFS, §4.1 Mechanism 4). Our router verifies
+the current hop field's MAC under its AS key, checks expiry and interface
+consistency, and hands the packet to the next AS over the egress interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..topology.model import Topology
+from .hopfield import forwarding_key
+from .packet import ForwardingPath, ScionPacket
+
+__all__ = ["ForwardingError", "BorderRouter", "deliver"]
+
+
+class ForwardingError(Exception):
+    """A packet was dropped; the message says why."""
+
+
+@dataclass
+class BorderRouter:
+    """The (single, logical) border router of one AS."""
+
+    asn: int
+    topology: Topology
+
+    def __post_init__(self) -> None:
+        self._key = forwarding_key(self.asn)
+
+    def forward(self, packet: ScionPacket, *, now: float) -> Tuple[ScionPacket, Optional[int]]:
+        """Process the packet at this AS.
+
+        Returns the packet with the cursor advanced and the ASN of the next
+        AS (``None`` when this AS is the destination). Raises
+        :class:`ForwardingError` on any validation failure.
+        """
+        path = packet.path
+        if path.at_destination:
+            raise ForwardingError("path already consumed")
+        hop = path.current
+        if hop.asn != self.asn:
+            raise ForwardingError(
+                f"packet at AS {self.asn} but hop field is for AS {hop.asn}"
+            )
+        if hop.is_expired(now):
+            raise ForwardingError(f"hop field of AS {self.asn} expired")
+        if not hop.verify(path.timestamp, path.prev_mac(), key=self._key):
+            raise ForwardingError(f"MAC verification failed at AS {self.asn}")
+        advanced = packet.with_path(path.advanced())
+        if hop.egress_ifid == 0:
+            if packet.destination.asn != self.asn:
+                raise ForwardingError(
+                    f"path ends at AS {self.asn} but packet is addressed to "
+                    f"AS {packet.destination.asn}"
+                )
+            return advanced, None
+        link = self.topology.as_node(self.asn).interfaces.get(hop.egress_ifid)
+        if link is None:
+            raise ForwardingError(
+                f"AS {self.asn} has no interface {hop.egress_ifid}"
+            )
+        return advanced, link.other(self.asn)
+
+
+def deliver(
+    topology: Topology, packet: ScionPacket, *, now: float
+) -> List[int]:
+    """Forward a packet hop by hop to its destination.
+
+    Returns the sequence of ASes traversed (source included). Raises
+    :class:`ForwardingError` if any router rejects the packet.
+    """
+    traversed: List[int] = []
+    current_asn = packet.path.current.asn
+    if current_asn != packet.source.asn:
+        raise ForwardingError("path does not start at the packet source")
+    while True:
+        traversed.append(current_asn)
+        router = BorderRouter(current_asn, topology)
+        packet, next_asn = router.forward(packet, now=now)
+        if next_asn is None:
+            return traversed
+        current_asn = next_asn

@@ -1,0 +1,27 @@
+"""Deployment models from Section 3: ISP links, SIGs, IXPs, economics."""
+
+from .leased_line import ConnectivityRequirement, CostComparison, compare_costs
+from .isp import (
+    IP_ENCAPSULATION_OVERHEAD_BYTES,
+    DeploymentModel,
+    LinkDeployment,
+    deploy_adjacent_isps,
+)
+from .sig import ASMap, CarrierGradeSIG, IPPacket, ScionIPGateway
+from .ixp import ExposedIXP, big_switch_peering
+
+__all__ = [
+    "ConnectivityRequirement",
+    "CostComparison",
+    "compare_costs",
+    "IP_ENCAPSULATION_OVERHEAD_BYTES",
+    "DeploymentModel",
+    "LinkDeployment",
+    "deploy_adjacent_isps",
+    "ASMap",
+    "CarrierGradeSIG",
+    "IPPacket",
+    "ScionIPGateway",
+    "ExposedIXP",
+    "big_switch_peering",
+]

@@ -1,0 +1,152 @@
+"""ISP deployment models (Section 3.3, Figure 2).
+
+Three ways adjacent SCION-enabled ISPs interconnect:
+
+* **native SCION link** (Fig. 2a) — a layer-2 cross-connection between the
+  SCION border routers; BGP-free by construction, no encapsulation;
+* **router-on-a-stick** (Fig. 2b) — SCION packets are IP-encapsulated over
+  a short hop through the legacy border routers; BGP-free via host routes,
+  but the shared link needs a queueing discipline guaranteeing SCION a
+  minimum bandwidth share;
+* **redundant connection** (Fig. 2c) — both of the above combined, exposed
+  either as one logical link or as two SCION links with distinct interface
+  ids (enabling endpoint multi-path across them).
+
+The model computes the properties the paper argues about: BGP-freeness,
+encapsulation overhead, guaranteed bandwidth under IP cross-traffic, and
+the interface count a redundant deployment exposes to the control plane.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..topology.model import Relationship, Topology
+
+__all__ = [
+    "DeploymentModel",
+    "LinkDeployment",
+    "deploy_adjacent_isps",
+    "IP_ENCAPSULATION_OVERHEAD_BYTES",
+]
+
+#: Outer IPv4 + UDP headers around an encapsulated SCION packet.
+IP_ENCAPSULATION_OVERHEAD_BYTES = 28
+
+
+class DeploymentModel(enum.Enum):
+    NATIVE = "native"
+    ROUTER_ON_A_STICK = "router-on-a-stick"
+    REDUNDANT = "redundant"
+
+
+@dataclass(frozen=True)
+class LinkDeployment:
+    """One inter-ISP SCION connection under a deployment model."""
+
+    model: DeploymentModel
+    capacity_bps: float
+    #: Fraction of the link the queueing discipline guarantees to SCION
+    #: (only meaningful when the link is shared with IP traffic).
+    scion_share: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bps <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 < self.scion_share <= 1.0:
+            raise ValueError("scion_share must be in (0, 1]")
+
+    @property
+    def is_bgp_free(self) -> bool:
+        """All three models avoid any dependence on BGP routes: native and
+        redundant by construction, router-on-a-stick via host routes."""
+        return True
+
+    @property
+    def shares_link_with_ip(self) -> bool:
+        return self.model is not DeploymentModel.NATIVE
+
+    @property
+    def encapsulation_overhead(self) -> int:
+        if self.model is DeploymentModel.NATIVE:
+            return 0
+        return IP_ENCAPSULATION_OVERHEAD_BYTES
+
+    def guaranteed_scion_bandwidth(self, ip_load_bps: float = 0.0) -> float:
+        """Bandwidth available to SCION under adversarial IP cross-traffic.
+
+        Without a queueing discipline an attacker could crowd SCION out
+        entirely; with one, SCION keeps at least its configured share.
+        """
+        if ip_load_bps < 0:
+            raise ValueError("ip_load_bps cannot be negative")
+        if not self.shares_link_with_ip:
+            return self.capacity_bps
+        contended = max(0.0, self.capacity_bps - ip_load_bps)
+        return max(self.capacity_bps * self.scion_share, contended)
+
+    def goodput_fraction(self, packet_bytes: int) -> float:
+        """Fraction of bytes on the wire that are SCION payload+header."""
+        if packet_bytes <= 0:
+            raise ValueError("packet size must be positive")
+        return packet_bytes / (packet_bytes + self.encapsulation_overhead)
+
+
+def deploy_adjacent_isps(
+    topology: Topology,
+    a_asn: int,
+    b_asn: int,
+    model: DeploymentModel,
+    *,
+    capacity_bps: float = 10e9,
+    scion_share: float = 0.5,
+    expose_separate_links: bool = True,
+    relationship: Relationship = Relationship.CORE,
+) -> Tuple[List[LinkDeployment], List[int]]:
+    """Wire two adjacent ISPs into the topology under a deployment model.
+
+    Returns the link deployments and the topology link ids created. A
+    redundant deployment exposed as separate links yields two SCION
+    interfaces ("enabling multipath selection for either of the links");
+    collapsed, it yields one logical link.
+    """
+    deployments: List[LinkDeployment] = []
+    link_ids: List[int] = []
+
+    def add(deployment: LinkDeployment, location: str) -> None:
+        deployments.append(deployment)
+        link = topology.add_link(
+            a_asn, b_asn, relationship, location=location
+        )
+        link_ids.append(link.link_id)
+
+    if model is DeploymentModel.NATIVE:
+        add(LinkDeployment(DeploymentModel.NATIVE, capacity_bps), "xconn")
+    elif model is DeploymentModel.ROUTER_ON_A_STICK:
+        add(
+            LinkDeployment(
+                DeploymentModel.ROUTER_ON_A_STICK,
+                capacity_bps,
+                scion_share=scion_share,
+            ),
+            "legacy-stick",
+        )
+    else:
+        native = LinkDeployment(DeploymentModel.NATIVE, capacity_bps)
+        stick = LinkDeployment(
+            DeploymentModel.ROUTER_ON_A_STICK,
+            capacity_bps,
+            scion_share=scion_share,
+        )
+        if expose_separate_links:
+            add(native, "xconn")
+            add(stick, "legacy-stick")
+        else:
+            deployments.extend([native, stick])
+            link = topology.add_link(
+                a_asn, b_asn, relationship, location="redundant-logical"
+            )
+            link_ids.append(link.link_id)
+    return deployments, link_ids

@@ -1,0 +1,95 @@
+"""Leased-line replacement economics (Section 3.1).
+
+"to connect N branches with K data centers, which can be implemented using
+N x K leased lines, N + K SCION connections are required (and for even
+larger savings if redundancy is needed)."
+
+The model compares connection counts and monthly cost for both designs,
+including the redundancy variant (each leased line duplicated vs. one
+additional SCION uplink per site).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ConnectivityRequirement", "CostComparison", "compare_costs"]
+
+
+@dataclass(frozen=True)
+class ConnectivityRequirement:
+    """Full-mesh connectivity between branches and data centers."""
+
+    branches: int
+    data_centers: int
+    #: 1 = no redundancy; 2 = every site/line duplicated, etc.
+    redundancy: int = 1
+
+    def __post_init__(self) -> None:
+        if self.branches < 1 or self.data_centers < 1:
+            raise ValueError("need at least one branch and one data center")
+        if self.redundancy < 1:
+            raise ValueError("redundancy must be >= 1")
+
+    @property
+    def leased_lines_needed(self) -> int:
+        """N x K lines, each replicated over a disjoint physical route per
+        redundancy level."""
+        return self.branches * self.data_centers * self.redundancy
+
+    @property
+    def scion_connections_needed(self) -> int:
+        """N + K uplinks; at most one extra uplink per site for redundancy.
+
+        Leased-line redundancy needs a disjoint line per *pair* and level;
+        SCION sites only need a second uplink to survive access-link
+        failure — beyond that, redundancy comes from the network's inherent
+        multi-path (the paper's "even larger savings if redundancy is
+        needed").
+        """
+        uplinks_per_site = min(self.redundancy, 2)
+        return (self.branches + self.data_centers) * uplinks_per_site
+
+
+@dataclass(frozen=True)
+class CostComparison:
+    requirement: ConnectivityRequirement
+    leased_line_monthly: float
+    scion_connection_monthly: float
+
+    @property
+    def leased_total(self) -> float:
+        return self.requirement.leased_lines_needed * self.leased_line_monthly
+
+    @property
+    def scion_total(self) -> float:
+        return (
+            self.requirement.scion_connections_needed
+            * self.scion_connection_monthly
+        )
+
+    @property
+    def savings_factor(self) -> float:
+        if self.scion_total <= 0:
+            raise ValueError("SCION cost must be positive")
+        return self.leased_total / self.scion_total
+
+
+def compare_costs(
+    branches: int,
+    data_centers: int,
+    *,
+    redundancy: int = 1,
+    leased_line_monthly: float = 1000.0,
+    scion_connection_monthly: float = 1000.0,
+) -> CostComparison:
+    """Convenience constructor for the Section 3.1 comparison."""
+    return CostComparison(
+        requirement=ConnectivityRequirement(
+            branches=branches,
+            data_centers=data_centers,
+            redundancy=redundancy,
+        ),
+        leased_line_monthly=leased_line_monthly,
+        scion_connection_monthly=scion_connection_monthly,
+    )

@@ -1,0 +1,76 @@
+"""Command-line entry point: regenerate any table/figure of the paper.
+
+Usage::
+
+    python -m repro.experiments <experiment> [--scale test|bench|paper]
+
+Experiments: table1, figure5, figure6 (6a+6b), figure7, figure8, figure9
+(7-9 share one run), scionlab, gridsearch, all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .config import get_scale
+from .figure5 import run_figure5
+from .figure6 import run_figure6
+from .gridsearch import run_gridsearch
+from .scionlab import run_scionlab
+from .table1 import run_table1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "table1", "figure5", "figure6", "figure6a", "figure6b",
+            "figure7", "figure8", "figure9", "scionlab", "gridsearch", "all",
+        ],
+    )
+    parser.add_argument("--scale", default="bench")
+    args = parser.parse_args(argv)
+    scale = get_scale(args.scale)
+
+    runners = {
+        "table1": lambda: run_table1(scale).render(),
+        "figure5": lambda: run_figure5(scale).render(),
+        "figure6": lambda: run_figure6(scale).render(),
+        "figure6a": lambda: run_figure6(scale).render(),
+        "figure6b": lambda: run_figure6(scale).render(),
+        "figure7": lambda: run_scionlab(scale).render(),
+        "figure8": lambda: run_scionlab(scale).render(),
+        "figure9": lambda: run_scionlab(scale).render(),
+        "scionlab": lambda: run_scionlab(scale).render(),
+        "gridsearch": lambda: _render_gridsearch(scale),
+    }
+    names = list(runners) if args.experiment == "all" else [args.experiment]
+    if args.experiment == "all":
+        names = ["table1", "figure5", "figure6", "scionlab", "gridsearch"]
+    for name in names:
+        start = time.time()
+        print(runners[name]())
+        print(f"[{name} completed in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+def _render_gridsearch(scale) -> str:
+    result = run_gridsearch(scale, coarse_only=(scale.name == "test"))
+    best = result.best_params
+    return (
+        "Grid search (quality - overhead objective, "
+        f"{result.num_evaluations} evaluations):\n"
+        f"  best: alpha={best.alpha:.2f} beta={best.beta:.2f} "
+        f"gamma={best.gamma:.2f} threshold={best.score_threshold:.3f} "
+        f"(score {result.best_score:.3f})"
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

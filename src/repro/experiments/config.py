@@ -1,0 +1,127 @@
+"""Experiment scales.
+
+The paper's evaluation runs at Internet scale (12000-AS CAIDA topology,
+2000 core ASes in 200 ISDs, a 7028-AS ISD) on an ns-3 cluster. A pure-
+Python reproduction parameterizes every size, with three presets:
+
+* ``TEST`` — seconds-fast, for unit/integration tests;
+* ``BENCH`` — the default for ``benchmarks/`` (minutes per figure), large
+  enough that the paper's orderings and factor gaps are visible;
+* ``PAPER`` — the published sizes, for machines with hours to spare.
+
+The timing parameters (10-minute beaconing interval, 6-hour PCB lifetime,
+dissemination limit 5) are the paper's for all presets; only topology sizes
+and sample counts shrink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..simulation.beaconing import BeaconingConfig, BeaconingMode
+
+__all__ = ["ExperimentScale", "TEST_SCALE", "BENCH_SCALE", "PAPER_SCALE", "get_scale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """All knobs an experiment needs, bundled."""
+
+    name: str
+    #: Synthetic Internet size (the AS-rel-geo stand-in).
+    internet_ases: int
+    #: Core network: number of ISDs and core ASes per ISD.
+    num_isds: int
+    cores_per_isd: int
+    #: Large-ISD experiment: number of core ASes and a cap on members.
+    isd_cores: int
+    isd_max_ases: int
+    #: How many monitor ASes Figure 5 reports over.
+    num_monitors: int
+    #: How many AS pairs Figures 6a/6b sample.
+    num_pairs: int
+    #: Beaconing timing (paper defaults).
+    interval: float = 600.0
+    duration: float = 6 * 3600.0
+    pcb_lifetime: float = 6 * 3600.0
+    #: Steady-state warm-up before Figure 5 measures (in intervals).
+    warmup_intervals: int = 36
+    seed: int = 7
+
+    @property
+    def core_ases(self) -> int:
+        return self.num_isds * self.cores_per_isd
+
+    def core_beaconing_config(
+        self, storage_limit: Optional[int] = 60
+    ) -> BeaconingConfig:
+        return BeaconingConfig(
+            interval=self.interval,
+            duration=self.duration,
+            pcb_lifetime=self.pcb_lifetime,
+            storage_limit=storage_limit,
+            mode=BeaconingMode.CORE,
+        )
+
+    def intra_isd_config(
+        self, storage_limit: Optional[int] = 60
+    ) -> BeaconingConfig:
+        return BeaconingConfig(
+            interval=self.interval,
+            duration=self.duration,
+            pcb_lifetime=self.pcb_lifetime,
+            storage_limit=storage_limit,
+            mode=BeaconingMode.INTRA_ISD,
+        )
+
+    def scaled(self, **overrides) -> "ExperimentScale":
+        return replace(self, **overrides)
+
+
+TEST_SCALE = ExperimentScale(
+    name="test",
+    internet_ases=120,
+    num_isds=3,
+    cores_per_isd=4,
+    isd_cores=2,
+    isd_max_ases=40,
+    num_monitors=8,
+    num_pairs=20,
+    duration=6 * 600.0,
+    warmup_intervals=6,
+)
+
+BENCH_SCALE = ExperimentScale(
+    name="bench",
+    internet_ases=250,
+    num_isds=4,
+    cores_per_isd=4,
+    isd_cores=4,
+    isd_max_ases=100,
+    num_monitors=10,
+    num_pairs=80,
+    warmup_intervals=36,
+)
+
+PAPER_SCALE = ExperimentScale(
+    name="paper",
+    internet_ases=12000,
+    num_isds=200,
+    cores_per_isd=10,
+    isd_cores=11,
+    isd_max_ases=7028,
+    num_monitors=26,
+    num_pairs=2000,
+    warmup_intervals=36,
+)
+
+
+def get_scale(name: str) -> ExperimentScale:
+    scales = {s.name: s for s in (TEST_SCALE, BENCH_SCALE, PAPER_SCALE)}
+    try:
+        return scales[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {name!r}; choose from {sorted(scales)}"
+        ) from None

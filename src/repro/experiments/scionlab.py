@@ -1,0 +1,188 @@
+"""Appendix B: SCIONLab testbed evaluation (Figures 7, 8, 9).
+
+Reproduces the three testbed figures on the deterministic SCIONLab-like
+topology (21 core ASes, mean neighbor degree ~2, parallel links):
+
+* **Figure 7** — minimum number of failing links disconnecting two ASes:
+  measurement, baseline(5), diversity(5/10/15/60), optimum;
+* **Figure 8** — maximum capacity in multiples of inter-AS links, same
+  series;
+* **Figure 9** — CDF of core-beaconing bandwidth per interface (Bps); the
+  paper reports < 4 KB/s for ~80 % of interfaces.
+
+The "Measurement" series is the baseline algorithm with the production
+storage limit (5) — the paper itself observes that "the behavior of SCION
+Baseline with a PCB storage limit of 5 closely resembles the data gathered
+from SCIONLab, since the baseline path construction algorithm is modeled
+after the current path selection algorithm"; without access to the live
+testbed, that correspondence *is* the measurement substitute (DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.flows import flow_graph_from_topology, max_flow
+from ..analysis.resilience import path_set_resilience
+from ..analysis.stats import EmpiricalCDF
+from ..core.scoring import DiversityParams
+from ..simulation.beaconing import (
+    BeaconingConfig,
+    BeaconingMode,
+    BeaconingSimulation,
+    baseline_factory,
+    diversity_factory,
+)
+from ..topology.scionlab import scionlab_core
+from .config import ExperimentScale
+from .report import format_cdf_series
+
+__all__ = ["ScionlabResult", "run_scionlab"]
+
+DIVERSITY_LIMITS: Tuple[int, ...] = (5, 10, 15, 60)
+
+
+@dataclass
+class ScionlabResult:
+    """Per-pair quality values and per-interface bandwidths."""
+
+    values: Dict[str, List[int]]
+    pairs: List[Tuple[int, int]]
+    #: Bytes per second on each directed core interface (measurement run).
+    interface_bandwidths: List[float]
+    scale_name: str
+
+    def series_names(self) -> List[str]:
+        ordered = ["measurement", "baseline(5)"]
+        ordered += [f"diversity({k})" for k in DIVERSITY_LIMITS]
+        ordered.append("optimum")
+        return [n for n in ordered if n in self.values]
+
+    def cdf(self, series: str) -> EmpiricalCDF:
+        return EmpiricalCDF.from_values(self.values[series])
+
+    def bandwidth_cdf(self) -> EmpiricalCDF:
+        return EmpiricalCDF.from_values(self.interface_bandwidths)
+
+    def fraction_below_bandwidth(self, bps: float) -> float:
+        return self.bandwidth_cdf().at(bps)
+
+    def mean_fraction_of_optimum(self, series: str) -> float:
+        fractions = []
+        for value, optimum in zip(self.values[series], self.values["optimum"]):
+            fractions.append(value / optimum if optimum else 1.0)
+        return sum(fractions) / len(fractions)
+
+    def improved_over_measurement(self, series: str) -> float:
+        """Fraction of pairs where the series strictly beats the
+        measurement proxy (the paper: 17/42/52/55 % for limits
+        5/10/15/60)."""
+        measurement = self.values["measurement"]
+        return sum(
+            1 for a, b in zip(self.values[series], measurement) if a > b
+        ) / len(measurement)
+
+    def diminishing_returns_above(self, limit: int = 15) -> bool:
+        """Appendix B's conclusion: storage limits above ~15 add little."""
+        below = self.mean_fraction_of_optimum(f"diversity({limit})")
+        top = self.mean_fraction_of_optimum("diversity(60)")
+        return top - below <= 0.05
+
+    def render(self) -> str:
+        series = {name: self.cdf(name) for name in self.series_names()}
+        lines = [
+            f"Figure 7 (scale={self.scale_name}): minimum failing links, "
+            f"SCIONLab core ({len(self.pairs)} AS pairs)",
+            format_cdf_series(series, title="", value_format="{:.0f}"),
+            "",
+            "Figure 8: capacity as fraction of optimum",
+        ]
+        for name in self.series_names():
+            lines.append(
+                f"    {name:16s} {self.mean_fraction_of_optimum(name):6.1%}"
+            )
+        lines.append("")
+        lines.append(
+            "  pairs improved over measurement "
+            "(paper: 17/42/52/55% for limits 5/10/15/60):"
+        )
+        for k in DIVERSITY_LIMITS:
+            name = f"diversity({k})"
+            if name in self.values:
+                lines.append(
+                    f"    {name:16s} {self.improved_over_measurement(name):6.1%}"
+                )
+        bw = self.bandwidth_cdf()
+        lines.append("")
+        lines.append(
+            "Figure 9: core-beaconing bandwidth per interface "
+            f"(median {bw.median:.0f} Bps, p90 {bw.quantile(0.9):.0f} Bps)"
+        )
+        lines.append(
+            f"    interfaces below 4 KB/s: "
+            f"{self.fraction_below_bandwidth(4096):.1%} (paper: ~80%)"
+        )
+        return "\n".join(lines)
+
+
+def run_scionlab(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    params: Optional[DiversityParams] = None,
+    seed: int = 7,
+) -> ScionlabResult:
+    """Run the Appendix B evaluation on the testbed topology.
+
+    ``scale`` only controls the beaconing timing (the topology is the fixed
+    21-AS testbed); None uses the paper timing.
+    """
+    topo = scionlab_core(seed=seed)
+    base_config = BeaconingConfig(
+        interval=scale.interval if scale else 600.0,
+        duration=scale.duration if scale else 6 * 3600.0,
+        pcb_lifetime=scale.pcb_lifetime if scale else 6 * 3600.0,
+        storage_limit=5,
+        mode=BeaconingMode.CORE,
+    )
+    asns = sorted(topo.asns())
+    pairs = [(a, b) for a in asns for b in asns if a != b]
+
+    values: Dict[str, List[int]] = {}
+    optimum_graph = flow_graph_from_topology(topo)
+    values["optimum"] = [
+        max_flow(optimum_graph, a, b) for a, b in pairs
+    ]
+
+    def quality(sim: BeaconingSimulation) -> List[int]:
+        out = []
+        for origin, receiver in pairs:
+            paths = [p.link_ids() for p in sim.paths_at(receiver, origin)]
+            out.append(path_set_resilience(topo, origin, receiver, paths))
+        return out
+
+    measurement_sim = BeaconingSimulation(
+        topo, baseline_factory(), base_config
+    ).run()
+    values["measurement"] = quality(measurement_sim)
+    values["baseline(5)"] = list(values["measurement"])
+
+    for limit in DIVERSITY_LIMITS:
+        config = dataclasses.replace(
+            base_config, storage_limit=limit, eviction_policy="diverse"
+        )
+        sim = BeaconingSimulation(
+            topo, diversity_factory(params=params), config
+        ).run()
+        values[f"diversity({limit})"] = quality(sim)
+
+    duration = base_config.num_intervals * base_config.interval
+    bandwidths = measurement_sim.metrics.per_interface_bandwidth(duration)
+
+    return ScionlabResult(
+        values=values,
+        pairs=pairs,
+        interface_bandwidths=bandwidths,
+        scale_name=scale.name if scale else "paper-timing",
+    )

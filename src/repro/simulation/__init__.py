@@ -1,0 +1,27 @@
+"""Simulation layer: discrete-event engine and beaconing drivers."""
+
+from .engine import Event, EventQueue, SimulationClock, Simulator
+from .metrics import InterfaceStats, TrafficMetrics
+from .beaconing import (
+    BeaconingConfig,
+    BeaconingMode,
+    BeaconingSimulation,
+    BeaconServerSim,
+    baseline_factory,
+    diversity_factory,
+)
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "SimulationClock",
+    "Simulator",
+    "InterfaceStats",
+    "TrafficMetrics",
+    "BeaconingConfig",
+    "BeaconingMode",
+    "BeaconingSimulation",
+    "BeaconServerSim",
+    "baseline_factory",
+    "diversity_factory",
+]

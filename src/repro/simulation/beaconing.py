@@ -1,0 +1,277 @@
+"""Interval-stepped SCION beaconing simulation.
+
+Reproduces the setup of Section 5.1: "we simulate six hours of beaconing
+with a beaconing interval of ten minutes and a PCB lifetime of six hours.
+The PCB dissemination limit ... is set to 5 for all experiments. ... The PCB
+storage limit ... varies in different experiments."
+
+Two beaconing processes share one driver:
+
+* **core beaconing** (``BeaconingMode.CORE``) — selective flooding among
+  core ASes over ``CORE`` links: every core AS originates beacons and
+  propagates received ones to all core neighbors, subject to the
+  path-construction algorithm's selection;
+* **intra-ISD beaconing** (``BeaconingMode.INTRA_ISD``) — uni-directional
+  flooding from the ISD core to the leaves: core ASes originate, every AS
+  propagates only on provider-to-customer links.
+
+Beacons advance one AS hop per beaconing interval (a beacon selected at
+interval *t* is available in the receiver's store at interval *t+1*),
+matching the periodic trigger of the real beacon servers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.baseline import BaselineAlgorithm
+from ..core.beacon_store import BeaconStore
+from ..core.diversity import DiversityAlgorithm
+from ..core.pcb import PCB
+from ..core.policy import PathConstructionAlgorithm, Transmission
+from ..core.scoring import DiversityParams
+from ..topology.model import Link, Relationship, Topology
+from .metrics import TrafficMetrics
+
+__all__ = [
+    "BeaconingMode",
+    "BeaconingConfig",
+    "BeaconServerSim",
+    "BeaconingSimulation",
+    "baseline_factory",
+    "diversity_factory",
+]
+
+AlgorithmFactory = Callable[[int, Topology], PathConstructionAlgorithm]
+
+
+class BeaconingMode(enum.Enum):
+    CORE = "core"
+    INTRA_ISD = "intra-isd"
+
+
+@dataclass(frozen=True)
+class BeaconingConfig:
+    """Timing and limits of a beaconing run (paper defaults)."""
+
+    interval: float = 600.0
+    duration: float = 6 * 3600.0
+    pcb_lifetime: float = 6 * 3600.0
+    storage_limit: Optional[int] = 60
+    mode: BeaconingMode = BeaconingMode.CORE
+    #: Beacon-store eviction policy ("shortest" or "diverse"); see
+    #: :mod:`repro.core.beacon_store`.
+    eviction_policy: str = "shortest"
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0 or self.duration <= 0 or self.pcb_lifetime <= 0:
+            raise ValueError("interval, duration and pcb_lifetime must be positive")
+        if self.duration < self.interval:
+            raise ValueError("duration must cover at least one interval")
+
+    @property
+    def num_intervals(self) -> int:
+        return int(self.duration // self.interval)
+
+
+def baseline_factory(dissemination_limit: int = 5) -> AlgorithmFactory:
+    """Factory for per-AS baseline algorithm instances."""
+
+    def make(asn: int, topology: Topology) -> PathConstructionAlgorithm:
+        return BaselineAlgorithm(
+            asn, topology, dissemination_limit=dissemination_limit
+        )
+
+    return make
+
+
+def diversity_factory(
+    dissemination_limit: int = 5,
+    params: Optional[DiversityParams] = None,
+) -> AlgorithmFactory:
+    """Factory for per-AS path-diversity algorithm instances."""
+
+    def make(asn: int, topology: Topology) -> PathConstructionAlgorithm:
+        return DiversityAlgorithm(
+            asn,
+            topology,
+            dissemination_limit=dissemination_limit,
+            params=params,
+        )
+
+    return make
+
+
+@dataclass
+class BeaconServerSim:
+    """The simulated beacon-server state of one AS."""
+
+    asn: int
+    store: BeaconStore
+    algorithm: PathConstructionAlgorithm
+    egress_links: List[Link] = field(default_factory=list)
+    originates: bool = False
+
+
+class BeaconingSimulation:
+    """Runs one beaconing process over a topology and collects metrics."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        algorithm_factory: AlgorithmFactory,
+        config: Optional[BeaconingConfig] = None,
+    ) -> None:
+        self.topology = topology
+        self.config = config or BeaconingConfig()
+        self.metrics = TrafficMetrics()
+        self.now = 0.0
+        self.intervals_run = 0
+        self._failed_links: set = set()
+        self._in_flight: List[Transmission] = []
+        self.servers: Dict[int, BeaconServerSim] = {}
+        self._build_servers(algorithm_factory)
+
+    # --------------------------------------------------------------- setup
+
+    def _build_servers(self, factory: AlgorithmFactory) -> None:
+        mode = self.config.mode
+        for node in self.topology.ases():
+            # Core beaconing runs among core ASes only; intra-ISD beaconing
+            # involves every AS of the ISD (leaves receive but never send).
+            if mode is BeaconingMode.CORE and not node.is_core:
+                continue
+            egress = self._egress_links(node.asn)
+            self.servers[node.asn] = BeaconServerSim(
+                asn=node.asn,
+                store=BeaconStore(
+                    self.config.storage_limit,
+                    eviction_policy=self.config.eviction_policy,
+                ),
+                algorithm=factory(node.asn, self.topology),
+                egress_links=egress,
+                originates=node.is_core,
+            )
+        if not any(server.originates for server in self.servers.values()):
+            raise ValueError(
+                "no core AS in topology: nothing would originate beacons"
+            )
+
+    def _egress_links(self, asn: int) -> List[Link]:
+        links: List[Link] = []
+        for link in self.topology.as_node(asn).links():
+            if self.config.mode is BeaconingMode.CORE:
+                if link.relationship is Relationship.CORE:
+                    links.append(link)
+            else:
+                # Intra-ISD beaconing forwards only provider -> customer.
+                if link.is_provider(asn):
+                    links.append(link)
+        links.sort(key=lambda l: l.link_id)
+        return links
+
+    # ----------------------------------------------------------------- run
+
+    def run(self) -> "BeaconingSimulation":
+        """Run all intervals of the configured duration."""
+        for _ in range(self.config.num_intervals):
+            self.step()
+        self._deliver()
+        return self
+
+    def reset_metrics(self) -> TrafficMetrics:
+        """Discard traffic counters (e.g. after a warm-up phase) and return
+        the metrics object that will collect the next window."""
+        self.metrics = TrafficMetrics()
+        return self.metrics
+
+    def run_intervals(self, count: int) -> "BeaconingSimulation":
+        """Run exactly ``count`` beaconing intervals."""
+        for _ in range(count):
+            self.step()
+        return self
+
+    def step(self) -> None:
+        """One beaconing interval: deliver, originate, select-and-send."""
+        self._deliver()
+        self._originate()
+        for asn in sorted(self.servers):
+            server = self.servers[asn]
+            if not server.egress_links:
+                continue
+            transmissions = server.algorithm.select(
+                server.store, server.egress_links, self.now
+            )
+            for transmission in transmissions:
+                self.metrics.record(transmission)
+            self._in_flight.extend(transmissions)
+        self.now += self.config.interval
+        self.intervals_run += 1
+
+    def _deliver(self) -> None:
+        for transmission in self._in_flight:
+            receiver = self.servers.get(transmission.receiver)
+            if receiver is not None:
+                receiver.store.insert(transmission.pcb, self.now)
+        self._in_flight = []
+
+    def _originate(self) -> None:
+        for server in self.servers.values():
+            if server.originates:
+                pcb = PCB.originate(
+                    server.asn, self.now, self.config.pcb_lifetime
+                )
+                server.store.insert(pcb, self.now)
+
+    # ------------------------------------------------------------ failures
+
+    def fail_link(self, link_id: int) -> int:
+        """Fail an inter-domain link mid-simulation.
+
+        The two reactions of §4.1 at beaconing level: the link disappears
+        from every beacon server's egress set, and stored beacons crossing
+        it are revoked (dropped), so subsequent intervals re-explore around
+        the failure. Returns the number of beacons revoked.
+        """
+        self.topology.link(link_id)  # validate the id
+        self._failed_links.add(link_id)
+        revoked = 0
+        for server in self.servers.values():
+            server.egress_links = [
+                l for l in server.egress_links if l.link_id != link_id
+            ]
+            revoked += server.store.remove_crossing(link_id)
+        self._in_flight = [
+            t
+            for t in self._in_flight
+            if link_id not in t.pcb.link_ids()
+        ]
+        return revoked
+
+    def failed_links(self) -> List[int]:
+        return sorted(self._failed_links)
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def end_time(self) -> float:
+        return self.now
+
+    def paths_at(self, asn: int, origin: int) -> List[PCB]:
+        """Disseminated beacons from ``origin`` stored at ``asn``, valid as
+        of the last executed beaconing interval."""
+        server = self.servers.get(asn)
+        if server is None:
+            return []
+        last_interval = max(0.0, self.now - self.config.interval)
+        return server.store.beacons(origin, now=last_interval)
+
+    def participant_asns(self) -> List[int]:
+        return sorted(self.servers)
+
+    def originator_asns(self) -> List[int]:
+        return sorted(
+            asn for asn, server in self.servers.items() if server.originates
+        )

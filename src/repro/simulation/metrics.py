@@ -1,0 +1,78 @@
+"""Traffic accounting for beaconing simulations.
+
+The paper measures "the amount of PCB traffic sent on each inter-domain
+interface" (Section 5.2) and, for Figure 9, the per-interface bandwidth in
+bytes per second. An *interface* here is one direction of one inter-domain
+link, identified by ``(link_id, sender ASN)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..core.policy import Transmission
+
+__all__ = ["InterfaceStats", "TrafficMetrics"]
+
+InterfaceKey = Tuple[int, int]  # (link_id, sender ASN)
+
+
+@dataclass
+class InterfaceStats:
+    """Cumulative PCB traffic sent on one directed interface."""
+
+    pcbs: int = 0
+    bytes: int = 0
+
+    def add(self, size: int) -> None:
+        self.pcbs += 1
+        self.bytes += size
+
+
+class TrafficMetrics:
+    """Aggregates beaconing traffic by interface and by receiving AS."""
+
+    def __init__(self) -> None:
+        self._interfaces: Dict[InterfaceKey, InterfaceStats] = {}
+        self._received_bytes: Dict[int, int] = {}
+        self._received_pcbs: Dict[int, int] = {}
+        self.total_pcbs = 0
+        self.total_bytes = 0
+
+    def record(self, transmission: Transmission) -> None:
+        size = transmission.wire_size
+        key = (transmission.link.link_id, transmission.sender)
+        stats = self._interfaces.get(key)
+        if stats is None:
+            stats = InterfaceStats()
+            self._interfaces[key] = stats
+        stats.add(size)
+        receiver = transmission.receiver
+        self._received_bytes[receiver] = self._received_bytes.get(receiver, 0) + size
+        self._received_pcbs[receiver] = self._received_pcbs.get(receiver, 0) + 1
+        self.total_pcbs += 1
+        self.total_bytes += size
+
+    # ------------------------------------------------------------- queries
+
+    def interface_stats(self, link_id: int, sender: int) -> InterfaceStats:
+        return self._interfaces.get((link_id, sender), InterfaceStats())
+
+    def interfaces(self) -> Dict[InterfaceKey, InterfaceStats]:
+        return dict(self._interfaces)
+
+    def bytes_received_by(self, asn: int) -> int:
+        return self._received_bytes.get(asn, 0)
+
+    def pcbs_received_by(self, asn: int) -> int:
+        return self._received_pcbs.get(asn, 0)
+
+    def per_interface_bandwidth(self, duration: float) -> List[float]:
+        """Bytes per second sent on each active directed interface."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        return [stats.bytes / duration for stats in self._interfaces.values()]
+
+    def mean_pcb_size(self) -> float:
+        return self.total_bytes / self.total_pcbs if self.total_pcbs else 0.0

@@ -1,0 +1,192 @@
+"""Isolation-domain construction and topology sampling.
+
+Implements the exact topology-preparation recipes of Section 5.1:
+
+* **Core network extraction** — "We use the subset of the 2000
+  highest-degree ASes from the topology of 12000 ASes in the CAIDA
+  AS-rel-geo topology, by incrementally pruning the 10000 lowest-degree
+  ASes": :func:`prune_to_highest_degree`.
+* **ISD assignment** — "we assume 200 ISDs with 10 core ASes each":
+  :func:`assign_isds` partitions a core network into ISDs of a fixed size
+  using graph locality so ISDs are internally well connected.
+* **Large-ISD construction** — "we first select its core ASes by picking
+  the 11 highest-rank American ASes (by customer cone size) ... Then, we add
+  their direct or indirect customers to the ISD by iterating down the
+  Internet hierarchy": :func:`customer_cone` and :func:`build_isd`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from .model import Relationship, Topology
+
+__all__ = [
+    "prune_to_highest_degree",
+    "customer_cone",
+    "rank_by_customer_cone",
+    "build_isd",
+    "assign_isds",
+    "promote_core_links",
+]
+
+
+def prune_to_highest_degree(topo: Topology, keep: int) -> Topology:
+    """Incrementally prune lowest-degree ASes until ``keep`` remain.
+
+    Pruning is *incremental* (as in the paper): removing an AS lowers its
+    neighbors' degrees, which can change which AS is pruned next. Returns a
+    new topology; the input is not modified.
+    """
+    if keep <= 0:
+        raise ValueError("keep must be positive")
+    if keep >= topo.num_ases:
+        return topo.subtopology(topo.asns(), name=f"{topo.name}-pruned")
+    work = topo.subtopology(topo.asns(), name=f"{topo.name}-top{keep}")
+    # A simple priority loop; degrees change as we prune, so recompute the
+    # current minimum each round from a lazily maintained bucket structure.
+    import heapq
+
+    heap = [(work.degree(asn), asn) for asn in work.asns()]
+    heapq.heapify(heap)
+    removed: Set[int] = set()
+    while work.num_ases > keep and heap:
+        degree, asn = heapq.heappop(heap)
+        if asn in removed:
+            continue
+        if degree != work.degree(asn):
+            heapq.heappush(heap, (work.degree(asn), asn))
+            continue
+        neighbors = work.neighbors(asn)
+        work.remove_as(asn)
+        removed.add(asn)
+        for neighbor in neighbors:
+            heapq.heappush(heap, (work.degree(neighbor), neighbor))
+    return work
+
+
+def customer_cone(topo: Topology, asn: int) -> Set[int]:
+    """Direct and indirect customers of ``asn`` (excluding ``asn`` itself)."""
+    cone: Set[int] = set()
+    frontier = deque([asn])
+    while frontier:
+        current = frontier.popleft()
+        for customer in topo.customers(current):
+            if customer != asn and customer not in cone:
+                cone.add(customer)
+                frontier.append(customer)
+    return cone
+
+
+def rank_by_customer_cone(topo: Topology) -> List[int]:
+    """ASes sorted by decreasing customer-cone size (CAIDA AS-rank style)."""
+    sizes = {asn: len(customer_cone(topo, asn)) for asn in topo.asns()}
+    return sorted(sizes, key=lambda asn: (-sizes[asn], asn))
+
+
+def build_isd(
+    topo: Topology,
+    core_asns: Sequence[int],
+    *,
+    isd: int = 1,
+    name: str = "",
+) -> Topology:
+    """Build an ISD: the given core ASes plus their joint customer cone.
+
+    The returned topology marks the given ASes as core, tags every member
+    with ``isd``, and converts links among core members to ``CORE`` links.
+    """
+    members: Set[int] = set(core_asns)
+    for asn in core_asns:
+        members |= customer_cone(topo, asn)
+    sub = topo.subtopology(members, name=name or f"isd-{isd}")
+    for asn in sub.asns():
+        node = sub.as_node(asn)
+        node.isd = isd
+        node.is_core = asn in set(core_asns)
+    promote_core_links(sub)
+    return sub
+
+
+def assign_isds(
+    topo: Topology,
+    num_isds: int,
+    *,
+    first_isd: int = 1,
+) -> Dict[int, int]:
+    """Partition a core network into ``num_isds`` contiguous ISDs.
+
+    ISDs in practice are geographic/jurisdictional groupings of nearby ASes;
+    we approximate this by growing ISDs with breadth-first search from seed
+    ASes, so each ISD is a connected, local cluster (isolated components are
+    swept into the nearest-sized ISD at the end). Marks every AS as core and
+    sets its ``isd``; returns the asn → isd mapping.
+    """
+    asns = sorted(topo.asns())
+    if num_isds < 1:
+        raise ValueError("num_isds must be >= 1")
+    if num_isds > len(asns):
+        raise ValueError("more ISDs than ASes")
+    target = len(asns) / num_isds
+    assignment: Dict[int, int] = {}
+    unassigned = set(asns)
+    # Seed each ISD at the highest-degree unassigned AS and grow by BFS.
+    isd = first_isd
+    while unassigned and isd < first_isd + num_isds:
+        seed = max(unassigned, key=lambda asn: (topo.degree(asn), -asn))
+        quota = int(round(target * (isd - first_isd + 1))) - len(assignment)
+        quota = max(1, quota)
+        frontier = deque([seed])
+        taken = 0
+        while taken < quota and unassigned:
+            if not frontier:
+                # Disconnected pocket: re-seed within the same ISD so every
+                # ISD still receives its quota of ASes.
+                frontier.append(
+                    max(unassigned, key=lambda asn: (topo.degree(asn), -asn))
+                )
+            asn = frontier.popleft()
+            if asn not in unassigned:
+                continue
+            unassigned.discard(asn)
+            assignment[asn] = isd
+            taken += 1
+            for neighbor in sorted(topo.neighbors(asn)):
+                if neighbor in unassigned:
+                    frontier.append(neighbor)
+        isd += 1
+    # Any stragglers (disconnected pockets) join the last ISD.
+    last_isd = first_isd + num_isds - 1
+    for asn in sorted(unassigned):
+        assignment[asn] = last_isd
+    for asn, isd_id in assignment.items():
+        node = topo.as_node(asn)
+        node.isd = isd_id
+        node.is_core = True
+    return assignment
+
+
+def promote_core_links(topo: Topology) -> int:
+    """Convert links whose both endpoints are core ASes into ``CORE`` links.
+
+    SCION core beaconing floods over core links regardless of the previous
+    business relationship. Returns the number of links converted.
+    """
+    converted = 0
+    for link in list(topo.links()):
+        if link.relationship is Relationship.CORE:
+            continue
+        if topo.as_node(link.a.asn).is_core and topo.as_node(link.b.asn).is_core:
+            topo.remove_link(link.link_id)
+            topo.add_link(
+                link.a.asn,
+                link.b.asn,
+                Relationship.CORE,
+                location=link.location,
+                a_ifid=link.a.ifid,
+                b_ifid=link.b.ifid,
+                link_id=link.link_id,
+            )
+            converted += 1
+    return converted

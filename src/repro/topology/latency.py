@@ -1,0 +1,68 @@
+"""Per-link latency model.
+
+§4.2 ("Optimizing for other Criteria") notes that optimizing paths for
+latency needs information beyond what PCBs carry today — e.g. border
+router locations or latency measurements. This module is that information
+channel for the latency-aware extension: a deterministic latency per
+inter-domain link, derived from the link's interconnection location (two
+ASes meeting at one exchange are close; a long-haul adjacency is slower),
+overridable with measured values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, Optional
+
+from .model import Link, Topology
+
+__all__ = ["LatencyModel"]
+
+
+class LatencyModel:
+    """Deterministic (seeded) per-link propagation latencies in seconds."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        min_latency: float = 0.002,
+        max_latency: float = 0.050,
+        seed: int = 0,
+    ) -> None:
+        if not 0 < min_latency <= max_latency:
+            raise ValueError("need 0 < min_latency <= max_latency")
+        self.topology = topology
+        self.min_latency = min_latency
+        self.max_latency = max_latency
+        self.seed = seed
+        self._overrides: Dict[int, float] = {}
+
+    def set_measured(self, link_id: int, latency: float) -> None:
+        """Install a measured latency for one link."""
+        if latency <= 0:
+            raise ValueError("latency must be positive")
+        self._overrides[link_id] = latency
+
+    def latency_of(self, link_id: int) -> float:
+        """Latency of one link (measured override, else derived)."""
+        override = self._overrides.get(link_id)
+        if override is not None:
+            return override
+        link = self.topology.link(link_id)
+        return self._derived(link)
+
+    def _derived(self, link: Link) -> float:
+        digest = hashlib.blake2b(
+            f"{self.seed}|{link.location}|{min(link.endpoints())}|"
+            f"{max(link.endpoints())}".encode(),
+            digest_size=8,
+        ).digest()
+        fraction = int.from_bytes(digest, "big") / 2**64
+        return self.min_latency + fraction * (
+            self.max_latency - self.min_latency
+        )
+
+    def path_latency(self, link_ids: Iterable[int]) -> float:
+        """End-to-end propagation latency of a path (sum of its links)."""
+        return sum(self.latency_of(link_id) for link_id in link_ids)

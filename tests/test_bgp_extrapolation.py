@@ -1,0 +1,73 @@
+"""Tests for the AS-rel-geo -> AS-rel overhead extrapolation (§5.2)."""
+
+import pytest
+
+from repro.bgp import map_outside_origins, tier1_hop_distance
+from repro.topology import (
+    InternetGeneratorConfig,
+    Relationship,
+    Topology,
+    generate_internet,
+    prune_to_highest_degree,
+)
+
+
+@pytest.fixture()
+def hierarchy():
+    """Tier-1 AS 1 -> 2 -> 3 -> 4 provider chain, plus tier-1 AS 5 -> 6."""
+    topo = Topology()
+    for asn in range(1, 7):
+        topo.add_as(asn)
+    topo.add_link(1, 2, Relationship.PROVIDER_CUSTOMER)
+    topo.add_link(2, 3, Relationship.PROVIDER_CUSTOMER)
+    topo.add_link(3, 4, Relationship.PROVIDER_CUSTOMER)
+    topo.add_link(5, 6, Relationship.PROVIDER_CUSTOMER)
+    topo.add_link(1, 5, Relationship.PEER_PEER)
+    return topo
+
+
+class TestTier1Distance:
+    def test_distances_up_the_chain(self, hierarchy):
+        tier1 = {1, 5}
+        assert tier1_hop_distance(hierarchy, 1, tier1) == 0
+        assert tier1_hop_distance(hierarchy, 2, tier1) == 1
+        assert tier1_hop_distance(hierarchy, 4, tier1) == 3
+        assert tier1_hop_distance(hierarchy, 6, tier1) == 1
+
+    def test_unreachable_returns_none(self, hierarchy):
+        hierarchy.add_as(9)
+        assert tier1_hop_distance(hierarchy, 9, {1, 5}) is None
+
+
+class TestMapOutsideOrigins:
+    def test_maps_to_lowest_tier_provider_inside(self, hierarchy):
+        inside = {1, 2, 5}
+        mappings = map_outside_origins(hierarchy, inside)
+        assert mappings[3].proxy == 2
+        assert mappings[3].extra_hops == 1
+        assert mappings[4].proxy == 2
+        assert mappings[4].extra_hops == 2
+        assert mappings[6].proxy == 5
+        assert mappings[6].extra_hops == 1
+
+    def test_inside_ases_not_mapped(self, hierarchy):
+        mappings = map_outside_origins(hierarchy, {1, 2, 5})
+        assert 1 not in mappings
+        assert 2 not in mappings
+
+    def test_orphan_origins_skipped(self, hierarchy):
+        hierarchy.add_as(9)  # no providers at all
+        mappings = map_outside_origins(hierarchy, {1, 2, 5})
+        assert 9 not in mappings
+
+    def test_synthetic_internet_coverage(self):
+        topo = generate_internet(InternetGeneratorConfig(num_ases=120, seed=8))
+        core = prune_to_highest_degree(topo, 30)
+        inside = set(core.asns())
+        mappings = map_outside_origins(topo, inside)
+        outside = set(topo.asns()) - inside
+        # Nearly all outside ASes must resolve to an inside proxy.
+        assert len(mappings) >= 0.9 * len(outside)
+        for mapping in mappings.values():
+            assert mapping.proxy in inside
+            assert mapping.extra_hops >= 0

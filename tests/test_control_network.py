@@ -1,0 +1,172 @@
+"""Integration tests for the full-stack ScionNetwork orchestration."""
+
+import pytest
+
+from repro.control import Component, Scope, ScionNetwork
+from repro.simulation import BeaconingConfig, BeaconingMode
+from repro.topology import Relationship, Topology
+
+
+def two_isd_topology():
+    """ISD 1: cores 1,2 + leaves 11,12 ; ISD 2: cores 3,4 + leaf 21.
+
+    Peering link 12 -- 21 enables a cross-ISD peering shortcut.
+    """
+    topo = Topology("two-isds")
+    spec = [
+        (1, 1, True), (2, 1, True), (3, 2, True), (4, 2, True),
+        (11, 1, False), (12, 1, False), (21, 2, False),
+    ]
+    for asn, isd, core in spec:
+        topo.add_as(asn, isd=isd, is_core=core)
+    topo.add_link(1, 2, Relationship.CORE)
+    topo.add_link(2, 3, Relationship.CORE)
+    topo.add_link(3, 4, Relationship.CORE)
+    topo.add_link(1, 4, Relationship.CORE)
+    topo.add_link(1, 11, Relationship.PROVIDER_CUSTOMER)
+    topo.add_link(2, 11, Relationship.PROVIDER_CUSTOMER)
+    topo.add_link(11, 12, Relationship.PROVIDER_CUSTOMER)
+    topo.add_link(3, 21, Relationship.PROVIDER_CUSTOMER)
+    topo.add_link(12, 21, Relationship.PEER_PEER)
+    return topo
+
+
+FAST = dict(
+    interval=600.0, duration=6 * 600.0, pcb_lifetime=6 * 3600.0,
+    storage_limit=10,
+)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return ScionNetwork(
+        two_isd_topology(),
+        core_config=BeaconingConfig(mode=BeaconingMode.CORE, **FAST),
+        intra_config=BeaconingConfig(mode=BeaconingMode.INTRA_ISD, **FAST),
+    ).run()
+
+
+class TestLookups:
+    def test_cross_isd_paths_exist(self, network):
+        paths = network.lookup_paths(12, 21)
+        assert paths
+        for path in paths:
+            assert path.source == 12
+            assert path.destination == 21
+            assert path.is_loop_free()
+
+    def test_peering_shortcut_found_and_shortest(self, network):
+        paths = network.lookup_paths(12, 21)
+        assert paths[0].uses_peering
+        assert paths[0].asns == (12, 21)
+
+    def test_intra_isd_shortcut(self, network):
+        """12 -> 11 is reachable without touching the ISD core."""
+        paths = network.lookup_paths(12, 11)
+        assert any(p.asns == (12, 11) for p in paths)
+
+    def test_leaf_to_core_path(self, network):
+        paths = network.lookup_paths(12, 3)
+        assert paths
+        assert all(p.destination == 3 for p in paths)
+
+    def test_core_to_leaf_path(self, network):
+        paths = network.lookup_paths(1, 21)
+        assert paths
+        assert all(p.source == 1 for p in paths)
+
+    def test_core_to_core_path(self, network):
+        paths = network.lookup_paths(1, 3)
+        assert paths
+        assert all(not p.is_shortcut for p in paths)
+
+    def test_same_as_rejected(self, network):
+        with pytest.raises(ValueError):
+            network.lookup_paths(12, 12)
+
+    def test_requires_run(self):
+        net = ScionNetwork(two_isd_topology())
+        with pytest.raises(RuntimeError):
+            net.lookup_paths(12, 21)
+
+
+class TestDataPlaneDelivery:
+    def test_packets_follow_looked_up_paths(self, network):
+        for src, dst in [(12, 21), (11, 21), (12, 3), (1, 21), (1, 3)]:
+            trajectory = network.send_packet(src, dst)
+            assert trajectory[0] == src
+            assert trajectory[-1] == dst
+
+    def test_explicit_path_selection(self, network):
+        paths = network.lookup_paths(12, 21)
+        non_peering = [p for p in paths if not p.uses_peering]
+        assert non_peering
+        trajectory = network.send_packet(12, 21, path=non_peering[0])
+        assert trajectory == list(non_peering[0].asns)
+
+
+class TestFailover:
+    def test_failed_link_filtered_from_usable_paths(self):
+        network = ScionNetwork(
+            two_isd_topology(),
+            core_config=BeaconingConfig(mode=BeaconingMode.CORE, **FAST),
+            intra_config=BeaconingConfig(
+                mode=BeaconingMode.INTRA_ISD, **FAST
+            ),
+        ).run()
+        before = network.usable_paths(12, 21)
+        peering_link = network.topology.links_between(12, 21)[0]
+        network.fail_link(peering_link.link_id)
+        after = network.usable_paths(12, 21)
+        assert len(after) < len(before)
+        assert after, "multi-path failover must leave alternatives"
+        assert all(
+            peering_link.link_id not in p.link_ids for p in after
+        )
+
+    def test_delivery_still_works_after_failover(self):
+        network = ScionNetwork(
+            two_isd_topology(),
+            core_config=BeaconingConfig(mode=BeaconingMode.CORE, **FAST),
+            intra_config=BeaconingConfig(
+                mode=BeaconingMode.INTRA_ISD, **FAST
+            ),
+        ).run()
+        peering_link = network.topology.links_between(12, 21)[0]
+        network.fail_link(peering_link.link_id)
+        alive = network.usable_paths(12, 21)
+        trajectory = network.send_packet(12, 21, path=alive[0])
+        assert trajectory[-1] == 21
+
+
+class TestControlMessageAccounting:
+    def test_lookups_produce_scoped_messages(self, network):
+        network.lookup_paths(11, 21)
+        log = network.log
+        assert log.count(Component.PATH_REGISTRATION) > 0
+        assert log.count(Component.ENDPOINT_PATH_LOOKUP) > 0
+        assert log.count(Component.DOWN_SEGMENT_LOOKUP) > 0
+        assert log.count(Component.CORE_SEGMENT_LOOKUP) > 0
+        assert log.scopes(Component.PATH_REGISTRATION) == {Scope.ISD}
+        assert log.scopes(Component.ENDPOINT_PATH_LOOKUP) == {Scope.AS}
+        assert Scope.GLOBAL in log.scopes(Component.DOWN_SEGMENT_LOOKUP)
+
+    def test_algorithm_selection(self):
+        topo = two_isd_topology()
+        baseline = ScionNetwork(
+            topo,
+            algorithm="baseline",
+            core_config=BeaconingConfig(mode=BeaconingMode.CORE, **FAST),
+            intra_config=BeaconingConfig(
+                mode=BeaconingMode.INTRA_ISD, **FAST
+            ),
+        )
+        assert baseline.algorithm == "baseline"
+        with pytest.raises(ValueError):
+            ScionNetwork(topo, algorithm="ospf")
+
+    def test_missing_isd_rejected(self):
+        topo = Topology()
+        topo.add_as(1, is_core=True)
+        with pytest.raises(ValueError):
+            ScionNetwork(topo)

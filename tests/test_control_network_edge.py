@@ -1,0 +1,86 @@
+"""Edge-case coverage for ScionNetwork: core-only topologies, single ISD,
+and degenerate lookups."""
+
+import pytest
+
+from repro.control import ScionNetwork
+from repro.simulation import BeaconingConfig, BeaconingMode
+from repro.topology import Relationship, Topology, generate_core_mesh
+
+FAST = dict(
+    interval=600.0, duration=6 * 600.0, pcb_lifetime=6 * 3600.0,
+    storage_limit=10,
+)
+
+
+def core_only_network():
+    topo = generate_core_mesh(6, seed=9)
+    for asn in topo.asns():
+        topo.as_node(asn).isd = 1
+    return ScionNetwork(
+        topo,
+        core_config=BeaconingConfig(mode=BeaconingMode.CORE, **FAST),
+        intra_config=BeaconingConfig(mode=BeaconingMode.INTRA_ISD, **FAST),
+    ).run()
+
+
+class TestCoreOnlyTopology:
+    def test_no_intra_isd_simulations(self):
+        network = core_only_network()
+        assert network.intra_sims == {}
+        assert network.local_servers == {}
+
+    def test_core_to_core_lookup_and_delivery(self):
+        network = core_only_network()
+        asns = sorted(network.topology.asns())
+        paths = network.lookup_paths(asns[0], asns[-1])
+        assert paths
+        trajectory = network.send_packet(asns[0], asns[-1])
+        assert trajectory[0] == asns[0]
+        assert trajectory[-1] == asns[-1]
+
+    def test_up_segments_empty_for_core(self):
+        network = core_only_network()
+        for asn in network.topology.core_asns():
+            assert network.up_segments(asn) == []
+
+
+class TestSingleIsdWithLeaves:
+    def make(self):
+        topo = Topology()
+        topo.add_as(1, isd=1, is_core=True)
+        topo.add_as(2, isd=1, is_core=True)
+        topo.add_as(10, isd=1)
+        topo.add_as(11, isd=1)
+        topo.add_link(1, 2, Relationship.CORE)
+        topo.add_link(1, 10, Relationship.PROVIDER_CUSTOMER)
+        topo.add_link(2, 11, Relationship.PROVIDER_CUSTOMER)
+        return ScionNetwork(
+            topo,
+            core_config=BeaconingConfig(mode=BeaconingMode.CORE, **FAST),
+            intra_config=BeaconingConfig(
+                mode=BeaconingMode.INTRA_ISD, **FAST
+            ),
+        ).run()
+
+    def test_same_isd_leaf_to_leaf(self):
+        network = self.make()
+        paths = network.lookup_paths(10, 11)
+        assert paths
+        assert network.send_packet(10, 11)[-1] == 11
+
+    def test_leaf_to_own_core(self):
+        network = self.make()
+        paths = network.lookup_paths(10, 1)
+        assert any(p.asns == (10, 1) for p in paths)
+
+    def test_registration_happened_per_leaf(self):
+        network = self.make()
+        assert network.core_servers[1].down_segments(10, network.now)
+        assert network.core_servers[2].down_segments(11, network.now)
+
+    def test_refresh_registrations_advances_clock(self):
+        network = self.make()
+        before = network.now
+        network.refresh_registrations(before + 600.0)
+        assert network.now == before + 600.0

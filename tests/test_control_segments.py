@@ -1,0 +1,83 @@
+"""Tests for path segments and control-message accounting."""
+
+import pytest
+
+from repro.control import (
+    Component,
+    ControlMessageLog,
+    PathSegment,
+    Scope,
+    SegmentType,
+    segment_wire_size,
+)
+from repro.core import PCB
+
+
+@pytest.fixture()
+def beacon():
+    """Core 1 -> (L10) -> 2 -> (L20) -> 3."""
+    return PCB.originate(1, 0.0, 3600.0).extend(10, 2).extend(20, 3)
+
+
+class TestSegmentConstruction:
+    def test_down_segment_keeps_beacon_direction(self, beacon):
+        segment = PathSegment.from_pcb(beacon, SegmentType.DOWN)
+        assert segment.asns == (1, 2, 3)
+        assert segment.link_ids == (10, 20)
+        assert segment.core_asn == 1
+        assert segment.first_asn == 1
+        assert segment.last_asn == 3
+
+    def test_up_segment_reverses(self, beacon):
+        segment = PathSegment.from_pcb(beacon, SegmentType.UP)
+        assert segment.asns == (3, 2, 1)
+        assert segment.link_ids == (20, 10)
+        assert segment.core_asn == 1
+
+    def test_reversed_flips_type_and_order(self, beacon):
+        down = PathSegment.from_pcb(beacon, SegmentType.DOWN)
+        up = down.reversed()
+        assert up.segment_type is SegmentType.UP
+        assert up.asns == tuple(reversed(down.asns))
+        assert up.reversed() == down
+
+    def test_core_segment_reversed_stays_core(self, beacon):
+        core = PathSegment.from_pcb(beacon, SegmentType.CORE)
+        assert core.reversed().segment_type is SegmentType.CORE
+
+    def test_validity_follows_beacon(self, beacon):
+        segment = PathSegment.from_pcb(beacon, SegmentType.DOWN)
+        assert segment.is_valid(100.0)
+        assert not segment.is_valid(3600.0)
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            PathSegment(SegmentType.UP, (), (), 0.0, 1.0)
+        with pytest.raises(ValueError):
+            PathSegment(SegmentType.UP, (1, 2), (), 0.0, 1.0)
+        with pytest.raises(ValueError):
+            PathSegment(SegmentType.UP, (1,), (), 1.0, 1.0)
+
+    def test_contains_queries(self, beacon):
+        segment = PathSegment.from_pcb(beacon, SegmentType.DOWN)
+        assert segment.contains_as(2)
+        assert not segment.contains_as(9)
+        assert segment.contains_link(10)
+        assert not segment.contains_link(99)
+
+    def test_wire_size_counts_all_hops(self, beacon):
+        segment = PathSegment.from_pcb(beacon, SegmentType.DOWN)
+        assert segment_wire_size(segment) == 32 + 3 * (32 + 96)
+
+
+class TestControlMessageLog:
+    def test_log_and_aggregate(self):
+        log = ControlMessageLog()
+        log.log(Component.PATH_REGISTRATION, Scope.ISD, 100, 1.0, 5, 1)
+        log.log(Component.PATH_REGISTRATION, Scope.ISD, 200, 2.0, 6, 1)
+        log.log(Component.ENDPOINT_PATH_LOOKUP, Scope.AS, 50, 3.0, 5, 5)
+        assert log.count() == 3
+        assert log.count(Component.PATH_REGISTRATION) == 2
+        assert log.bytes(Component.PATH_REGISTRATION) == 300
+        assert log.scopes(Component.ENDPOINT_PATH_LOOKUP) == {Scope.AS}
+        assert log.times(Component.PATH_REGISTRATION) == [1.0, 2.0]

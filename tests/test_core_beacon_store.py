@@ -1,0 +1,162 @@
+"""Tests for the beacon store and its storage-limit policy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PCB, BeaconStore
+
+
+def make_pcb(origin=1, links=(10,), issued_at=0.0, lifetime=100.0):
+    pcb = PCB.originate(origin, issued_at, lifetime)
+    for i, link in enumerate(links):
+        pcb = pcb.extend(link, origin + 100 + i)
+    return pcb
+
+
+class TestInsert:
+    def test_insert_and_retrieve(self):
+        store = BeaconStore()
+        pcb = make_pcb()
+        assert store.insert(pcb, now=1.0)
+        assert store.beacons(1) == [pcb]
+        assert pcb in store
+
+    def test_rejects_expired(self):
+        store = BeaconStore()
+        pcb = make_pcb(issued_at=0.0, lifetime=10.0)
+        assert not store.insert(pcb, now=20.0)
+        assert store.count() == 0
+
+    def test_rejects_not_yet_valid(self):
+        store = BeaconStore()
+        pcb = make_pcb(issued_at=100.0)
+        assert not store.insert(pcb, now=5.0)
+
+    def test_newer_instance_replaces_same_path(self):
+        store = BeaconStore()
+        old = make_pcb(issued_at=0.0)
+        new = make_pcb(issued_at=50.0)
+        store.insert(old, now=1.0)
+        assert store.insert(new, now=60.0)
+        assert store.count(1) == 1
+        assert store.beacons(1)[0].issued_at == 50.0
+
+    def test_older_instance_is_ignored(self):
+        store = BeaconStore()
+        new = make_pcb(issued_at=50.0)
+        old = make_pcb(issued_at=0.0)
+        store.insert(new, now=60.0)
+        assert not store.insert(old, now=60.0)
+        assert store.beacons(1)[0].issued_at == 50.0
+
+    def test_distinct_paths_coexist(self):
+        store = BeaconStore()
+        store.insert(make_pcb(links=(10,)), now=1.0)
+        store.insert(make_pcb(links=(11,)), now=1.0)
+        assert store.count(1) == 2
+
+
+class TestStorageLimit:
+    def test_limit_enforced_per_origin(self):
+        store = BeaconStore(storage_limit=3)
+        for link in range(10, 20):
+            store.insert(make_pcb(links=(link,)), now=1.0)
+        assert store.count(1) == 3
+
+    def test_limits_are_independent_per_origin(self):
+        store = BeaconStore(storage_limit=2)
+        for origin in (1, 2):
+            for link in range(10, 15):
+                store.insert(make_pcb(origin=origin, links=(link,)), now=1.0)
+        assert store.count(1) == 2
+        assert store.count(2) == 2
+
+    def test_eviction_drops_longest_paths_first(self):
+        store = BeaconStore(storage_limit=2)
+        short = make_pcb(links=(10,))
+        longer = make_pcb(links=(11, 12))
+        longest = make_pcb(links=(13, 14, 15))
+        store.insert(longest, now=1.0)
+        store.insert(short, now=1.0)
+        store.insert(longer, now=1.0)
+        kept = store.beacons(1)
+        assert short in kept
+        assert longer in kept
+        assert longest not in kept
+
+    def test_expired_evicted_before_valid(self):
+        store = BeaconStore(storage_limit=2)
+        stale = make_pcb(links=(10,), issued_at=0.0, lifetime=5.0)
+        store.insert(stale, now=1.0)
+        store.insert(make_pcb(links=(11, 12)), now=10.0)
+        store.insert(make_pcb(links=(13, 14)), now=10.0)
+        kept = store.beacons(1)
+        assert stale not in kept
+        assert len(kept) == 2
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            BeaconStore(storage_limit=0)
+
+    def test_unlimited_store(self):
+        store = BeaconStore(storage_limit=None)
+        for link in range(10, 100):
+            store.insert(make_pcb(links=(link,)), now=1.0)
+        assert store.count(1) == 90
+
+
+class TestQueries:
+    def test_beacons_sorted_shortest_first(self):
+        store = BeaconStore()
+        a = make_pcb(links=(10, 11, 12))
+        b = make_pcb(links=(13,))
+        c = make_pcb(links=(14, 15))
+        for pcb in (a, b, c):
+            store.insert(pcb, now=1.0)
+        assert store.beacons(1) == [b, c, a]
+
+    def test_beacons_validity_filter(self):
+        store = BeaconStore()
+        fresh = make_pcb(links=(10,), issued_at=0.0, lifetime=100.0)
+        stale = make_pcb(links=(11,), issued_at=0.0, lifetime=10.0)
+        store.insert(fresh, now=1.0)
+        store.insert(stale, now=1.0)
+        assert len(store.beacons(1, now=50.0)) == 1
+        assert len(store.beacons(1)) == 2
+
+    def test_purge_expired(self):
+        store = BeaconStore()
+        store.insert(make_pcb(links=(10,), lifetime=10.0), now=1.0)
+        store.insert(make_pcb(links=(11,), lifetime=100.0), now=1.0)
+        removed = store.purge_expired(now=50.0)
+        assert removed == 1
+        assert store.count() == 1
+
+    def test_origins_lists_only_non_empty(self):
+        store = BeaconStore()
+        store.insert(make_pcb(origin=1, lifetime=10.0), now=1.0)
+        store.insert(make_pcb(origin=2, lifetime=100.0), now=1.0)
+        store.purge_expired(now=50.0)
+        assert store.origins() == [2]
+
+    def test_all_beacons_spans_origins(self):
+        store = BeaconStore()
+        store.insert(make_pcb(origin=1), now=1.0)
+        store.insert(make_pcb(origin=2), now=1.0)
+        assert len(list(store.all_beacons())) == 2
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    limit=st.integers(min_value=1, max_value=8),
+    links=st.lists(
+        st.integers(min_value=10, max_value=40), min_size=1, max_size=30
+    ),
+)
+def test_storage_limit_invariant(limit, links):
+    """Property: per-origin count never exceeds the storage limit."""
+    store = BeaconStore(storage_limit=limit)
+    for link in links:
+        store.insert(make_pcb(links=(link,)), now=1.0)
+        assert store.count(1) <= limit

@@ -1,0 +1,133 @@
+"""Tests for the latency-aware extension (§4.2 'Optimizing for other
+Criteria') and its latency-information channel."""
+
+import pytest
+
+from repro.core import BeaconStore, LatencyAwareAlgorithm, PCB
+from repro.simulation import BeaconingConfig, BeaconingSimulation
+from repro.topology import (
+    LatencyModel,
+    Relationship,
+    Topology,
+    generate_core_mesh,
+)
+
+
+@pytest.fixture()
+def topo():
+    t = Topology()
+    for asn in (1, 2, 3):
+        t.add_as(asn, is_core=True)
+    t.add_link(1, 2, Relationship.CORE, location="short")   # link 1
+    t.add_link(1, 2, Relationship.CORE, location="long")    # link 2
+    t.add_link(1, 3, Relationship.CORE, location="mid")     # link 3
+    return t
+
+
+class TestLatencyModel:
+    def test_deterministic_and_bounded(self, topo):
+        model = LatencyModel(topo, seed=1)
+        for link in topo.links():
+            latency = model.latency_of(link.link_id)
+            assert model.min_latency <= latency <= model.max_latency
+            assert latency == model.latency_of(link.link_id)
+
+    def test_different_links_differ(self, topo):
+        model = LatencyModel(topo, seed=1)
+        latencies = {model.latency_of(l.link_id) for l in topo.links()}
+        assert len(latencies) == topo.num_links
+
+    def test_measured_override(self, topo):
+        model = LatencyModel(topo)
+        model.set_measured(1, 0.123)
+        assert model.latency_of(1) == 0.123
+        with pytest.raises(ValueError):
+            model.set_measured(1, 0.0)
+
+    def test_path_latency_sums(self, topo):
+        model = LatencyModel(topo)
+        total = model.path_latency((1, 3))
+        assert total == pytest.approx(
+            model.latency_of(1) + model.latency_of(3)
+        )
+
+    def test_validation(self, topo):
+        with pytest.raises(ValueError):
+            LatencyModel(topo, min_latency=0.0)
+        with pytest.raises(ValueError):
+            LatencyModel(topo, min_latency=0.1, max_latency=0.05)
+
+
+class TestLatencyAwareAlgorithm:
+    def make(self, topo, **overrides):
+        model = LatencyModel(topo, seed=2)
+        model.set_measured(1, 0.005)   # parallel link A: fast
+        model.set_measured(2, 0.045)   # parallel link B: slow
+        return (
+            LatencyAwareAlgorithm(
+                1, topo, model, dissemination_limit=overrides.pop("limit", 1)
+            ),
+            model,
+        )
+
+    def test_prefers_low_latency_egress(self, topo):
+        algo, model = self.make(topo)
+        store = BeaconStore()
+        store.insert(PCB.originate(1, 0.0, 21600.0), now=0.0)
+        out = algo.select(store, topo.links_between(1, 2), now=600.0)
+        assert len(out) == 1
+        assert out[0].link.link_id == 1  # the fast parallel link
+
+    def test_quality_halves_at_reference(self, topo):
+        algo, model = self.make(topo)
+        model.set_measured(3, algo.reference_latency)
+        assert algo.quality((3,)) == pytest.approx(0.5)
+
+    def test_suppresses_resends(self, topo):
+        algo, _ = self.make(topo, limit=5)
+        store = BeaconStore()
+        store.insert(PCB.originate(1, 0.0, 21600.0), now=0.0)
+        links = topo.links_between(1, 2)
+        first = algo.select(store, links, now=600.0)
+        assert len(first) == 2  # both parallel links, once
+        second = algo.select(store, links, now=1200.0)
+        assert second == []
+
+    def test_invalid_reference_rejected(self, topo):
+        with pytest.raises(ValueError):
+            LatencyAwareAlgorithm(1, topo, reference_latency=0.0)
+
+    def test_end_to_end_lower_latency_paths_than_baseline(self):
+        """On a mesh, latency-aware beaconing disseminates lower-latency
+        path sets than the shortest-AS-path baseline."""
+        from repro.simulation import baseline_factory
+
+        topo = generate_core_mesh(10, seed=11, mean_degree=4.0)
+        model = LatencyModel(topo, seed=11)
+        config = BeaconingConfig(
+            interval=600.0, duration=6 * 600.0, pcb_lifetime=6 * 3600.0,
+            storage_limit=10,
+        )
+
+        def latency_factory(asn, topology):
+            return LatencyAwareAlgorithm(asn, topology, model)
+
+        base = BeaconingSimulation(topo, baseline_factory(), config).run()
+        lat = BeaconingSimulation(topo, latency_factory, config).run()
+
+        def best_latency(sim):
+            total, count = 0.0, 0
+            for receiver in sim.participant_asns():
+                for origin in sim.originator_asns():
+                    if origin == receiver:
+                        continue
+                    paths = sim.paths_at(receiver, origin)
+                    if not paths:
+                        continue
+                    total += min(
+                        model.path_latency(p.link_ids()) for p in paths
+                    )
+                    count += 1
+            return total / count
+
+        assert best_latency(lat) <= best_latency(base) * 1.02

@@ -1,0 +1,175 @@
+"""Tests for hop fields, packets, border routers, and delivery."""
+
+import pytest
+
+from repro.dataplane import (
+    BorderRouter,
+    ForwardingError,
+    ForwardingPath,
+    HostAddress,
+    MAC_BYTES,
+    ScionPacket,
+    build_forwarding_path,
+    compute_mac,
+    deliver,
+    forwarding_key,
+    make_hop_field,
+)
+from repro.topology import Relationship, Topology
+
+
+@pytest.fixture()
+def line():
+    """1 - 2 - 3 core line."""
+    topo = Topology("line")
+    for asn in (1, 2, 3):
+        topo.add_as(asn, isd=1, is_core=True)
+    topo.add_link(1, 2, Relationship.CORE)
+    topo.add_link(2, 3, Relationship.CORE)
+    return topo
+
+
+def path_1_to_3(topo, timestamp=0.0, expiry=3600.0):
+    link12 = topo.links_between(1, 2)[0]
+    link23 = topo.links_between(2, 3)[0]
+    return build_forwarding_path(
+        topo,
+        [1, 2, 3],
+        [link12.link_id, link23.link_id],
+        timestamp=timestamp,
+        expiry=expiry,
+    )
+
+
+def packet_1_to_3(topo, **kwargs):
+    return ScionPacket(
+        source=HostAddress(1, 1),
+        destination=HostAddress(1, 3),
+        path=path_1_to_3(topo, **kwargs),
+        payload_bytes=100,
+    )
+
+
+class TestHopFields:
+    def test_mac_is_deterministic(self):
+        key = forwarding_key(1)
+        a = compute_mac(key, 0.0, 1, 2, 100.0, b"\x00" * MAC_BYTES)
+        b = compute_mac(key, 0.0, 1, 2, 100.0, b"\x00" * MAC_BYTES)
+        assert a == b
+        assert len(a) == MAC_BYTES
+
+    def test_mac_depends_on_every_field(self):
+        key = forwarding_key(1)
+        base = compute_mac(key, 0.0, 1, 2, 100.0, b"\x00" * MAC_BYTES)
+        assert base != compute_mac(key, 1.0, 1, 2, 100.0, b"\x00" * MAC_BYTES)
+        assert base != compute_mac(key, 0.0, 9, 2, 100.0, b"\x00" * MAC_BYTES)
+        assert base != compute_mac(key, 0.0, 1, 9, 100.0, b"\x00" * MAC_BYTES)
+        assert base != compute_mac(key, 0.0, 1, 2, 900.0, b"\x00" * MAC_BYTES)
+        assert base != compute_mac(key, 0.0, 1, 2, 100.0, b"\x01" * MAC_BYTES)
+
+    def test_verify_round_trip(self):
+        hop = make_hop_field(1, 5, 6, timestamp=0.0, expiry=100.0)
+        assert hop.verify(0.0, b"\x00" * MAC_BYTES)
+        assert not hop.verify(1.0, b"\x00" * MAC_BYTES)
+
+    def test_keys_differ_per_as(self):
+        assert forwarding_key(1) != forwarding_key(2)
+
+
+class TestForwardingPath:
+    def test_build_sets_interfaces(self, line):
+        path = path_1_to_3(line)
+        first, middle, last = path.hop_fields
+        assert first.ingress_ifid == 0
+        assert last.egress_ifid == 0
+        assert middle.ingress_ifid != 0
+        assert middle.egress_ifid != 0
+
+    def test_cursor_advances(self, line):
+        path = path_1_to_3(line)
+        assert path.current.asn == 1
+        assert path.advanced().current.asn == 2
+        assert path.advanced().advanced().advanced().at_destination
+
+    def test_header_size_linear(self, line):
+        path = path_1_to_3(line)
+        assert path.header_bytes() == 8 + 12 * 3
+
+    def test_misaligned_links_rejected(self, line):
+        with pytest.raises(ValueError):
+            build_forwarding_path(line, [1, 2], [], timestamp=0.0, expiry=1.0)
+
+
+class TestBorderRouter:
+    def test_forwards_along_the_line(self, line):
+        packet = packet_1_to_3(line)
+        assert deliver(line, packet, now=1.0) == [1, 2, 3]
+
+    def test_rejects_expired_hop_field(self, line):
+        packet = packet_1_to_3(line, expiry=10.0)
+        with pytest.raises(ForwardingError, match="expired"):
+            deliver(line, packet, now=100.0)
+
+    def test_rejects_tampered_path(self, line):
+        """Altering a hop field (different egress) breaks the MAC."""
+        packet = packet_1_to_3(line)
+        hops = list(packet.path.hop_fields)
+        tampered = make_hop_field(
+            hops[1].asn,
+            hops[1].ingress_ifid,
+            99,
+            timestamp=packet.path.timestamp,
+            expiry=hops[1].expiry,
+            prev_mac=packet.path.hop_fields[0].mac,
+            key=b"wrong-key-0123456",
+        )
+        hops[1] = tampered
+        bad = packet.with_path(
+            ForwardingPath(
+                timestamp=packet.path.timestamp, hop_fields=tuple(hops)
+            )
+        )
+        with pytest.raises(ForwardingError, match="MAC"):
+            deliver(line, bad, now=1.0)
+
+    def test_rejects_spliced_hop_field(self, line):
+        """A valid hop field moved to a different position fails chaining."""
+        packet = packet_1_to_3(line)
+        hops = list(packet.path.hop_fields)
+        # Recompute hop 2's MAC with a zero prev-mac (as if it were first).
+        spliced = make_hop_field(
+            hops[1].asn,
+            hops[1].ingress_ifid,
+            hops[1].egress_ifid,
+            timestamp=packet.path.timestamp,
+            expiry=hops[1].expiry,
+        )
+        hops[1] = spliced
+        bad = packet.with_path(
+            ForwardingPath(
+                timestamp=packet.path.timestamp, hop_fields=tuple(hops)
+            )
+        )
+        with pytest.raises(ForwardingError, match="MAC"):
+            deliver(line, bad, now=1.0)
+
+    def test_rejects_wrong_as(self, line):
+        packet = packet_1_to_3(line)
+        router = BorderRouter(2, line)
+        with pytest.raises(ForwardingError, match="hop field is for"):
+            router.forward(packet, now=1.0)
+
+    def test_rejects_mismatched_destination(self, line):
+        path = path_1_to_3(line)
+        packet = ScionPacket(
+            source=HostAddress(1, 1),
+            destination=HostAddress(1, 9),  # path ends at 3, not 9
+            path=path,
+        )
+        with pytest.raises(ForwardingError, match="addressed"):
+            deliver(line, packet, now=1.0)
+
+    def test_packet_sizes(self, line):
+        packet = packet_1_to_3(line)
+        assert packet.header_bytes() == 24 + 8 + (8 + 12 * 3)
+        assert packet.wire_bytes() == packet.header_bytes() + 100

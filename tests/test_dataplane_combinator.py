@@ -1,0 +1,156 @@
+"""Tests for end-to-end segment combination (up/core/down, shortcuts,
+peering)."""
+
+import pytest
+
+from repro.control import PathSegment, SegmentType
+from repro.dataplane import combine_segments
+from repro.topology import Relationship, Topology
+
+
+def seg(segment_type, asns, links, issued=0.0, expires=3600.0):
+    return PathSegment(
+        segment_type=segment_type,
+        asns=tuple(asns),
+        link_ids=tuple(links),
+        issued_at=issued,
+        expires_at=expires,
+    )
+
+
+UP = SegmentType.UP
+DOWN = SegmentType.DOWN
+CORE = SegmentType.CORE
+
+
+class TestFullCombination:
+    def test_up_core_down(self):
+        up = seg(UP, [10, 1], [100])
+        core = seg(CORE, [1, 2], [200])
+        down = seg(DOWN, [2, 20], [300])
+        paths = combine_segments([up], [core], [down])
+        assert len(paths) == 1
+        assert paths[0].asns == (10, 1, 2, 20)
+        assert paths[0].link_ids == (100, 200, 300)
+        assert not paths[0].is_shortcut
+
+    def test_mismatched_junctions_rejected(self):
+        up = seg(UP, [10, 1], [100])
+        core = seg(CORE, [9, 2], [200])  # does not start at up's core
+        down = seg(DOWN, [2, 20], [300])
+        assert combine_segments([up], [core], [down]) == []
+
+    def test_core_source_needs_no_up(self):
+        core = seg(CORE, [1, 2], [200])
+        down = seg(DOWN, [2, 20], [300])
+        paths = combine_segments([], [core], [down])
+        assert paths[0].asns == (1, 2, 20)
+
+    def test_core_destination_needs_no_down(self):
+        up = seg(UP, [10, 1], [100])
+        core = seg(CORE, [1, 2], [200])
+        paths = combine_segments([up], [core], [])
+        assert paths[0].asns == (10, 1, 2)
+
+    def test_same_core_needs_no_core_segment(self):
+        up = seg(UP, [10, 1], [100])
+        down = seg(DOWN, [1, 20], [300])
+        paths = combine_segments([up], [], [down])
+        assert paths[0].asns == (10, 1, 20)
+
+    def test_loops_filtered(self):
+        up = seg(UP, [10, 5, 1], [100, 101])
+        core = seg(CORE, [1, 2], [200])
+        down = seg(DOWN, [2, 5, 20], [300, 301])  # AS 5 appears twice
+        paths = combine_segments([up], [core], [down])
+        # The looping full combination (10,5,1,2,5,20) is rejected; the
+        # crossover at the shared AS 5 survives as a shortcut instead.
+        assert all(p.is_loop_free() for p in paths)
+        assert paths == [
+            p for p in paths if p.is_shortcut
+        ], "only the shortcut crossover may remain"
+
+    def test_expired_segments_skipped(self):
+        up = seg(UP, [10, 1], [100], expires=10.0)
+        core = seg(CORE, [1, 2], [200])
+        down = seg(DOWN, [2, 20], [300])
+        assert combine_segments([up], [core], [down], now=100.0) == []
+
+    def test_expiry_is_min_of_segments(self):
+        up = seg(UP, [10, 1], [100], expires=1000.0)
+        core = seg(CORE, [1, 2], [200], expires=500.0)
+        down = seg(DOWN, [2, 20], [300], expires=2000.0)
+        paths = combine_segments([up], [core], [down])
+        assert paths[0].expires_at == 500.0
+
+    def test_wrong_segment_type_rejected(self):
+        up = seg(DOWN, [10, 1], [100])
+        with pytest.raises(ValueError):
+            combine_segments([up], [], [])
+
+
+class TestShortcuts:
+    def test_common_as_shortcut(self):
+        # up: 10 -> 5 -> 1 ; down: 1 -> 5 -> 20 ; crossover at 5.
+        up = seg(UP, [10, 5, 1], [100, 101])
+        down = seg(DOWN, [1, 5, 20], [201, 301])
+        paths = combine_segments([up], [], [down])
+        shortcut = [p for p in paths if p.is_shortcut]
+        assert len(shortcut) == 1
+        assert shortcut[0].asns == (10, 5, 20)
+        assert shortcut[0].link_ids == (100, 301)
+
+    def test_shortcut_shorter_than_core_route(self):
+        up = seg(UP, [10, 5, 1], [100, 101])
+        down = seg(DOWN, [1, 5, 20], [201, 301])
+        paths = combine_segments([up], [], [down])
+        # Results are sorted by link count; the shortcut comes first.
+        assert paths[0].is_shortcut
+
+    def test_peering_shortcut_uses_topology(self):
+        topo = Topology()
+        for asn in (10, 5, 1, 2, 6, 20):
+            topo.add_as(asn)
+        peer = topo.add_link(5, 6, Relationship.PEER_PEER)
+        up = seg(UP, [10, 5, 1], [100, 101])
+        core = seg(CORE, [1, 2], [200])
+        down = seg(DOWN, [2, 6, 20], [300, 301])
+        paths = combine_segments([up], [core], [down], topology=topo)
+        peering = [p for p in paths if p.uses_peering]
+        assert len(peering) == 1
+        assert peering[0].asns == (10, 5, 6, 20)
+        assert peer.link_id in peering[0].link_ids
+
+    def test_no_peering_without_topology(self):
+        up = seg(UP, [10, 5, 1], [100, 101])
+        core = seg(CORE, [1, 2], [200])
+        down = seg(DOWN, [2, 6, 20], [300, 301])
+        paths = combine_segments([up], [core], [down])
+        assert not any(p.uses_peering for p in paths)
+
+    def test_provider_link_is_not_a_peering_shortcut(self):
+        topo = Topology()
+        for asn in (10, 5, 1, 2, 6, 20):
+            topo.add_as(asn)
+        topo.add_link(5, 6, Relationship.PROVIDER_CUSTOMER)
+        up = seg(UP, [10, 5, 1], [100, 101])
+        core = seg(CORE, [1, 2], [200])
+        down = seg(DOWN, [2, 6, 20], [300, 301])
+        paths = combine_segments([up], [core], [down], topology=topo)
+        assert not any(p.uses_peering for p in paths)
+
+
+class TestMultiplicity:
+    def test_multiple_segments_multiply_paths(self):
+        ups = [seg(UP, [10, 1], [100]), seg(UP, [10, 1], [110])]
+        cores = [seg(CORE, [1, 2], [200]), seg(CORE, [1, 2], [210])]
+        downs = [seg(DOWN, [2, 20], [300])]
+        paths = combine_segments(ups, cores, downs)
+        assert len(paths) == 4
+
+    def test_duplicates_deduplicated(self):
+        up = seg(UP, [10, 1], [100])
+        core = seg(CORE, [1, 2], [200])
+        down = seg(DOWN, [2, 20], [300])
+        paths = combine_segments([up, up], [core], [down, down])
+        assert len(paths) == 1

@@ -1,0 +1,146 @@
+"""End-to-end tests of the figure/table experiments at test scale.
+
+These assert structural correctness (series present, values bounded,
+renderings complete); the *shape* assertions against the paper run in
+``benchmarks/`` at bench scale where they are statistically meaningful.
+"""
+
+import pytest
+
+from repro.experiments import TEST_SCALE
+from repro.experiments.figure5 import SERIES_ORDER, run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.gridsearch import run_gridsearch
+from repro.experiments.scionlab import run_scionlab
+from repro.experiments.table1 import (
+    PAPER_TABLE,
+    classify_frequency,
+    run_table1,
+)
+from repro.control.messages import Component
+
+
+@pytest.fixture(scope="module")
+def figure5():
+    return run_figure5(TEST_SCALE)
+
+
+@pytest.fixture(scope="module")
+def figure6():
+    return run_figure6(TEST_SCALE)
+
+
+@pytest.fixture(scope="module")
+def scionlab():
+    return run_scionlab(TEST_SCALE)
+
+
+class TestTable1:
+    def test_matches_paper_classification(self):
+        result = run_table1(TEST_SCALE)
+        assert result.matches_paper(), result.render()
+        assert len(result.rows) == len(PAPER_TABLE)
+
+    def test_classify_frequency(self):
+        assert classify_frequency(5.0) == "Seconds"
+        assert classify_frequency(600.0) == "Minutes"
+        assert classify_frequency(7200.0) == "Hours"
+        with pytest.raises(ValueError):
+            classify_frequency(-1.0)
+
+    def test_row_lookup(self):
+        result = run_table1(TEST_SCALE)
+        row = result.row(Component.CORE_BEACONING)
+        assert row.messages > 0
+        with pytest.raises(KeyError):
+            result.rows.clear() or result.row(Component.CORE_BEACONING)
+
+
+class TestFigure5:
+    def test_all_series_present(self, figure5):
+        series = figure5.series()
+        assert set(series) == set(SERIES_ORDER)
+        for cdf in series.values():
+            assert len(cdf) >= TEST_SCALE.num_monitors // 2
+
+    def test_ratios_positive(self, figure5):
+        for name in SERIES_ORDER:
+            assert figure5.median_relative(name) > 0
+
+    def test_diversity_cheaper_than_baseline(self, figure5):
+        assert figure5.median_relative(
+            "scion-core-diversity"
+        ) < figure5.median_relative("scion-core-baseline")
+
+    def test_intra_isd_cheapest_scion_component(self, figure5):
+        assert figure5.median_relative(
+            "scion-intra-isd-baseline"
+        ) < figure5.median_relative("scion-core-diversity")
+
+    def test_render_mentions_every_series(self, figure5):
+        text = figure5.render()
+        for name in SERIES_ORDER:
+            assert name in text
+
+
+class TestFigure6:
+    def test_series_and_pair_alignment(self, figure6):
+        names = figure6.series_names()
+        assert names[0] == "bgp"
+        assert names[-1] == "optimum"
+        for name in names:
+            assert len(figure6.values[name]) == len(figure6.pairs)
+
+    def test_values_bounded_by_optimum(self, figure6):
+        for name in figure6.series_names():
+            for value, optimum in zip(
+                figure6.values[name], figure6.values["optimum"]
+            ):
+                assert 0 <= value <= optimum
+
+    def test_quality_orderings(self, figure6):
+        assert figure6.orderings_hold(), figure6.render()
+
+    def test_capped_fraction_at_least_uncapped(self, figure6):
+        for limit in (15, 30, 60):
+            name = f"diversity({limit})"
+            assert figure6.capped_fraction_of_optimum(
+                name, limit
+            ) >= figure6.mean_fraction_of_optimum(name) - 1e-9
+
+    def test_render(self, figure6):
+        text = figure6.render()
+        assert "Figure 6a" in text
+        assert "Figure 6b" in text
+
+
+class TestScionlab:
+    def test_measurement_proxy_is_baseline5(self, scionlab):
+        assert scionlab.values["measurement"] == scionlab.values["baseline(5)"]
+
+    def test_all_420_pairs_evaluated(self, scionlab):
+        assert len(scionlab.pairs) == 21 * 20
+
+    def test_bandwidths_positive_and_small(self, scionlab):
+        assert scionlab.interface_bandwidths
+        assert scionlab.fraction_below_bandwidth(4096) >= 0.8
+
+    def test_diversity_not_worse_than_measurement(self, scionlab):
+        for k in (5, 10, 15, 60):
+            assert scionlab.mean_fraction_of_optimum(
+                f"diversity({k})"
+            ) >= scionlab.mean_fraction_of_optimum("measurement") - 0.02
+
+    def test_render(self, scionlab):
+        text = scionlab.render()
+        for fig in ("Figure 7", "Figure 8", "Figure 9"):
+            assert fig in text
+
+
+class TestGridSearch:
+    def test_coarse_search_runs(self):
+        result = run_gridsearch(TEST_SCALE, coarse_only=True, num_ases=8)
+        assert result.num_evaluations == 8  # 2 x 2 x 1 x 2
+        result.best_params.validate()
+        scores = [score for _, score in result.evaluations]
+        assert result.best_score == max(scores)

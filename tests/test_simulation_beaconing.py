@@ -1,0 +1,214 @@
+"""Integration tests for the beaconing simulation (core and intra-ISD)."""
+
+import pytest
+
+from repro.core import DiversityAlgorithm
+from repro.simulation import (
+    BeaconingConfig,
+    BeaconingMode,
+    BeaconingSimulation,
+    baseline_factory,
+    diversity_factory,
+)
+from repro.topology import Relationship, Topology, generate_core_mesh
+
+
+def line_core(n=4):
+    """Core ASes 1 - 2 - ... - n in a line."""
+    topo = Topology("line")
+    for asn in range(1, n + 1):
+        topo.add_as(asn, is_core=True)
+    for asn in range(1, n):
+        topo.add_link(asn, asn + 1, Relationship.CORE)
+    return topo
+
+
+def small_isd():
+    """Two cores on top of a three-level customer tree.
+
+    cores 1,2 -> AS 3 -> ASes 4,5 ; core 2 -> AS 6.
+    """
+    topo = Topology("isd")
+    topo.add_as(1, isd=1, is_core=True)
+    topo.add_as(2, isd=1, is_core=True)
+    for asn in (3, 4, 5, 6):
+        topo.add_as(asn, isd=1)
+    topo.add_link(1, 2, Relationship.CORE)
+    topo.add_link(1, 3, Relationship.PROVIDER_CUSTOMER)
+    topo.add_link(2, 3, Relationship.PROVIDER_CUSTOMER)
+    topo.add_link(3, 4, Relationship.PROVIDER_CUSTOMER)
+    topo.add_link(3, 5, Relationship.PROVIDER_CUSTOMER)
+    topo.add_link(2, 6, Relationship.PROVIDER_CUSTOMER)
+    return topo
+
+
+FAST = BeaconingConfig(
+    interval=600.0, duration=6 * 600.0, pcb_lifetime=6 * 3600.0,
+    storage_limit=10,
+)
+
+
+class TestCoreBeaconing:
+    def test_beacons_reach_every_core_as(self):
+        sim = BeaconingSimulation(line_core(4), baseline_factory(), FAST).run()
+        # After 6 intervals every AS knows a path to every other core AS.
+        for receiver in (1, 2, 3, 4):
+            for origin in (1, 2, 3, 4):
+                if origin == receiver:
+                    continue
+                paths = sim.paths_at(receiver, origin)
+                assert paths, f"{receiver} has no path to {origin}"
+
+    def test_propagation_is_one_hop_per_interval(self):
+        topo = line_core(4)
+        sim = BeaconingSimulation(topo, baseline_factory(), FAST)
+        sim.step()  # origin beacons sent to direct neighbors
+        assert sim.paths_at(2, 1) == []
+        sim.step()  # delivered at distance 1
+        assert len(sim.paths_at(2, 1)) == 1
+        assert sim.paths_at(3, 1) == []
+        sim.step()  # delivered at distance 2
+        assert len(sim.paths_at(3, 1)) >= 1
+
+    def test_disseminated_paths_are_loop_free(self):
+        topo = generate_core_mesh(10, seed=4)
+        sim = BeaconingSimulation(topo, baseline_factory(), FAST).run()
+        for receiver in sim.participant_asns():
+            for origin in sim.originator_asns():
+                for pcb in sim.paths_at(receiver, origin):
+                    asns = pcb.path_asns()
+                    assert len(asns) == len(set(asns))
+                    assert asns[0] == origin
+                    assert asns[-1] == receiver
+
+    def test_paths_traverse_real_links(self):
+        topo = generate_core_mesh(8, seed=5)
+        sim = BeaconingSimulation(topo, diversity_factory(), FAST).run()
+        for receiver in sim.participant_asns():
+            for origin in sim.originator_asns():
+                for pcb in sim.paths_at(receiver, origin):
+                    asns = pcb.path_asns()
+                    for (a, b), link_id in zip(
+                        zip(asns, asns[1:]), pcb.link_ids()
+                    ):
+                        link = topo.link(link_id)
+                        assert {a, b} == set(link.endpoints())
+
+    def test_diversity_cheaper_than_baseline(self):
+        topo = generate_core_mesh(10, seed=6)
+        config = BeaconingConfig(storage_limit=20)
+        base = BeaconingSimulation(topo, baseline_factory(), config).run()
+        div = BeaconingSimulation(topo, diversity_factory(), config).run()
+        assert div.metrics.total_bytes < base.metrics.total_bytes / 2
+
+    def test_diversity_finds_more_distinct_paths(self):
+        topo = generate_core_mesh(10, seed=7)
+        config = BeaconingConfig(storage_limit=30)
+        base = BeaconingSimulation(topo, baseline_factory(), config).run()
+        div = BeaconingSimulation(topo, diversity_factory(), config).run()
+        def total_paths(sim):
+            return sum(
+                len(sim.paths_at(r, o))
+                for r in sim.participant_asns()
+                for o in sim.originator_asns()
+                if r != o
+            )
+        assert total_paths(div) > total_paths(base)
+
+    def test_metrics_account_every_transmission(self):
+        topo = line_core(3)
+        sim = BeaconingSimulation(topo, baseline_factory(), FAST).run()
+        per_interface = sum(
+            stats.pcbs for stats in sim.metrics.interfaces().values()
+        )
+        assert per_interface == sim.metrics.total_pcbs > 0
+        received = sum(
+            sim.metrics.pcbs_received_by(asn)
+            for asn in sim.participant_asns()
+        )
+        assert received == sim.metrics.total_pcbs
+
+    def test_non_core_ases_excluded_from_core_beaconing(self):
+        topo = small_isd()
+        sim = BeaconingSimulation(topo, baseline_factory(), FAST)
+        assert sim.participant_asns() == [1, 2]
+
+    def test_requires_an_originator(self):
+        topo = Topology()
+        topo.add_as(1)
+        topo.add_as(2)
+        topo.add_link(1, 2, Relationship.PROVIDER_CUSTOMER)
+        with pytest.raises(ValueError):
+            BeaconingSimulation(
+                topo, baseline_factory(),
+                BeaconingConfig(mode=BeaconingMode.CORE),
+            )
+
+
+class TestIntraISDBeaconing:
+    def config(self):
+        return BeaconingConfig(
+            interval=600.0, duration=6 * 600.0, pcb_lifetime=6 * 3600.0,
+            storage_limit=10, mode=BeaconingMode.INTRA_ISD,
+        )
+
+    def test_all_leaves_learn_paths_to_cores(self):
+        sim = BeaconingSimulation(
+            small_isd(), baseline_factory(), self.config()
+        ).run()
+        for leaf in (4, 5):
+            assert sim.paths_at(leaf, 1)
+            assert sim.paths_at(leaf, 2)
+        assert sim.paths_at(6, 2)
+
+    def test_pcbs_flow_only_downward(self):
+        sim = BeaconingSimulation(
+            small_isd(), baseline_factory(), self.config()
+        ).run()
+        # Cores never receive intra-ISD beacons (nothing flows up or across).
+        assert sim.paths_at(1, 2) == []
+        assert sim.paths_at(2, 1) == []
+        # Leaves never act as senders.
+        for (_link_id, sender), _stats in sim.metrics.interfaces().items():
+            assert sender in (1, 2, 3), f"leaf {sender} sent beacons"
+
+    def test_multihomed_leaf_gets_paths_via_both_providers(self):
+        sim = BeaconingSimulation(
+            small_isd(), baseline_factory(), self.config()
+        ).run()
+        paths_to_1 = sim.paths_at(4, 1)
+        # AS 4 reaches core 1 via 3, whose providers are 1 and 2.
+        assert any(pcb.path_asns() == (1, 3, 4) for pcb in paths_to_1)
+
+    def test_overhead_linear_in_interfaces(self):
+        """Intra-ISD beaconing sends on provider->customer links only."""
+        sim = BeaconingSimulation(
+            small_isd(), baseline_factory(), self.config()
+        ).run()
+        downstream_links = {
+            link.link_id
+            for link in small_isd().links()
+            if link.relationship is Relationship.PROVIDER_CUSTOMER
+        }
+        for (link_id, _sender), stats in sim.metrics.interfaces().items():
+            assert link_id in downstream_links
+
+
+class TestConfig:
+    def test_rejects_bad_timing(self):
+        with pytest.raises(ValueError):
+            BeaconingConfig(interval=0.0)
+        with pytest.raises(ValueError):
+            BeaconingConfig(interval=600.0, duration=60.0)
+
+    def test_num_intervals(self):
+        assert BeaconingConfig().num_intervals == 36
+
+    def test_factories_build_per_as_instances(self):
+        topo = line_core(3)
+        factory = diversity_factory(dissemination_limit=3)
+        a = factory(1, topo)
+        b = factory(2, topo)
+        assert isinstance(a, DiversityAlgorithm)
+        assert a is not b
+        assert a.dissemination_limit == 3

@@ -1,0 +1,107 @@
+"""Tests for the discrete-event simulation core."""
+
+import pytest
+
+from repro.simulation import EventQueue, SimulationClock, Simulator
+
+
+class TestClock:
+    def test_advances_forward(self):
+        clock = SimulationClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_rejects_backwards(self):
+        clock = SimulationClock(5.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(4.0)
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(5.0, lambda: order.append("b"))
+        queue.schedule(1.0, lambda: order.append("a"))
+        queue.schedule(9.0, lambda: order.append("c"))
+        while (event := queue.pop_next()) is not None:
+            event.action()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_for_same_time(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(1.0, lambda: order.append(1))
+        queue.schedule(1.0, lambda: order.append(2))
+        queue.schedule(1.0, lambda: order.append(3))
+        while (event := queue.pop_next()) is not None:
+            event.action()
+        assert order == [1, 2, 3]
+
+    def test_cancel(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        event.cancel()
+        assert len(queue) == 1
+        popped = queue.pop_next()
+        assert popped is not None and popped.when == 2.0
+
+    def test_peek_skips_canceled(self):
+        queue = EventQueue()
+        first = queue.schedule(1.0, lambda: None)
+        queue.schedule(3.0, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 3.0
+
+
+class TestSimulator:
+    def test_runs_until_drained(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(1.0, lambda: hits.append(sim.now))
+        sim.schedule(2.0, lambda: hits.append(sim.now))
+        processed = sim.run()
+        assert processed == 2
+        assert hits == [1.0, 2.0]
+        assert sim.now == 2.0
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        hits = []
+
+        def chain(n):
+            hits.append(sim.now)
+            if n > 0:
+                sim.schedule(1.0, lambda: chain(n - 1))
+
+        sim.schedule(1.0, lambda: chain(3))
+        sim.run()
+        assert hits == [1.0, 2.0, 3.0, 4.0]
+
+    def test_until_horizon(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(1.0, lambda: hits.append(1))
+        sim.schedule(10.0, lambda: hits.append(2))
+        sim.run(until=5.0)
+        assert hits == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert hits == [1, 2]
+
+    def test_max_events_budget(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda: None)
+        assert sim.run(max_events=4) == 4
+        assert sim.now == 4.0
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)

@@ -1,0 +1,129 @@
+"""Tests for CAIDA as-rel / as-rel-geo serialization."""
+
+import io
+
+import pytest
+
+from repro.topology import (
+    InternetGeneratorConfig,
+    Relationship,
+    Topology,
+    TopologyError,
+    generate_internet,
+    load_topology,
+    parse_as_rel,
+    parse_as_rel_geo,
+    write_as_rel,
+    write_as_rel_geo,
+)
+
+AS_REL_SAMPLE = """\
+# inferred AS relationships
+# provider|customer|-1 ; peer|peer|0
+1|2|-1
+1|3|-1
+2|3|0
+"""
+
+AS_REL_GEO_SAMPLE = """\
+# geo sample
+1|2|Zurich,-1|Frankfurt,-1
+2|3|London,0
+"""
+
+
+class TestParseAsRel:
+    def test_parses_relationships(self):
+        topo = parse_as_rel(io.StringIO(AS_REL_SAMPLE))
+        assert topo.num_ases == 3
+        assert topo.num_links == 3
+        assert topo.customers(1) == {2, 3}
+        assert topo.peers(2) == {3}
+
+    def test_comments_and_blank_lines_skipped(self):
+        topo = parse_as_rel(io.StringIO("# c\n\n1|2|0\n"))
+        assert topo.num_links == 1
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(TopologyError):
+            parse_as_rel(io.StringIO("1|2\n"))
+
+    def test_unknown_relationship_raises(self):
+        with pytest.raises(TopologyError):
+            parse_as_rel(io.StringIO("1|2|7\n"))
+
+
+class TestParseAsRelGeo:
+    def test_each_location_becomes_a_parallel_link(self):
+        topo = parse_as_rel_geo(io.StringIO(AS_REL_GEO_SAMPLE))
+        assert len(topo.links_between(1, 2)) == 2
+        locations = {l.location for l in topo.links_between(1, 2)}
+        assert locations == {"Zurich", "Frankfurt"}
+        assert len(topo.links_between(2, 3)) == 1
+
+    def test_relationship_orientation_preserved(self):
+        topo = parse_as_rel_geo(io.StringIO(AS_REL_GEO_SAMPLE))
+        assert topo.customers(1) == {2}
+        assert topo.peers(2) == {3}
+
+    def test_malformed_geo_entry_raises(self):
+        with pytest.raises(TopologyError):
+            parse_as_rel_geo(io.StringIO("1|2|-1\n"))
+
+    def test_location_with_comma_is_preserved(self):
+        topo = parse_as_rel_geo(io.StringIO("1|2|New York,NY,-1\n"))
+        link = topo.links_between(1, 2)[0]
+        assert link.location == "New York,NY"
+
+
+class TestRoundTrips:
+    def test_as_rel_geo_round_trip_preserves_multigraph(self):
+        topo = generate_internet(InternetGeneratorConfig(num_ases=80, seed=9))
+        buffer = io.StringIO()
+        write_as_rel_geo(topo, buffer)
+        buffer.seek(0)
+        parsed = parse_as_rel_geo(buffer)
+        assert parsed.num_ases == topo.num_ases
+        assert parsed.num_links == topo.num_links
+        for asn in topo.asns():
+            assert set(parsed.neighbors(asn)) == set(topo.neighbors(asn))
+            assert parsed.providers(asn) == topo.providers(asn)
+
+    def test_as_rel_round_trip_preserves_adjacency(self):
+        topo = generate_internet(InternetGeneratorConfig(num_ases=60, seed=10))
+        buffer = io.StringIO()
+        write_as_rel(topo, buffer)
+        buffer.seek(0)
+        parsed = parse_as_rel(buffer)
+        assert parsed.num_ases == topo.num_ases
+        for asn in topo.asns():
+            assert set(parsed.neighbors(asn)) == set(topo.neighbors(asn))
+
+    def test_file_round_trip(self, tmp_path):
+        topo = generate_internet(InternetGeneratorConfig(num_ases=40, seed=2))
+        path = tmp_path / "topo.as-rel-geo"
+        write_as_rel_geo(topo, path)
+        parsed = parse_as_rel_geo(path)
+        assert parsed.num_links == topo.num_links
+
+
+class TestLoadTopology:
+    def test_sniffs_as_rel(self, tmp_path):
+        path = tmp_path / "x.txt"
+        path.write_text(AS_REL_SAMPLE)
+        topo = load_topology(path)
+        assert topo.num_links == 3
+
+    def test_sniffs_as_rel_geo(self, tmp_path):
+        path = tmp_path / "y.txt"
+        path.write_text(AS_REL_GEO_SAMPLE)
+        topo = load_topology(path)
+        assert len(topo.links_between(1, 2)) == 2
+
+    def test_explicit_format(self):
+        topo = load_topology(io.StringIO(AS_REL_SAMPLE), fmt="as-rel")
+        assert topo.num_links == 3
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            load_topology(io.StringIO(""), fmt="json")

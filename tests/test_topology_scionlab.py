@@ -1,0 +1,69 @@
+"""Tests for the SCIONLab-like testbed topology (Appendix B substrate)."""
+
+from repro.topology import (
+    Relationship,
+    SCIONLAB_CORE_COUNT,
+    scionlab_core,
+    scionlab_with_user_ases,
+)
+
+
+class TestScionlabCore:
+    def test_has_21_core_ases(self):
+        topo = scionlab_core()
+        assert topo.num_ases == SCIONLAB_CORE_COUNT == 21
+        assert len(topo.core_asns()) == 21
+
+    def test_sparse_mean_neighbor_degree(self):
+        """Appendix B: 'on average, a core AS has 2 neighbors'."""
+        topo = scionlab_core()
+        mean = sum(len(topo.neighbors(asn)) for asn in topo.asns()) / topo.num_ases
+        assert 2.0 <= mean <= 3.0
+
+    def test_connected_core_mesh(self):
+        topo = scionlab_core()
+        assert topo.is_connected()
+        assert all(l.relationship is Relationship.CORE for l in topo.links())
+
+    def test_has_parallel_link(self):
+        topo = scionlab_core()
+        has_parallel = any(
+            len(topo.links_between(a, b)) > 1
+            for a in topo.asns()
+            for b in topo.neighbors(a)
+        )
+        assert has_parallel
+
+    def test_deterministic(self):
+        a = scionlab_core()
+        b = scionlab_core()
+        assert a.num_links == b.num_links
+        assert sorted(l.location for l in a.links()) == sorted(
+            l.location for l in b.links()
+        )
+
+
+class TestScionlabWithUsers:
+    def test_user_ases_attached(self):
+        topo = scionlab_with_user_ases(users_per_core=2)
+        assert topo.num_ases == 21 + 42
+        assert len(topo.non_core_asns()) == 42
+
+    def test_users_are_customers_of_cores(self):
+        topo = scionlab_with_user_ases(users_per_core=1)
+        cores = set(topo.core_asns())
+        for asn in topo.non_core_asns():
+            providers = topo.providers(asn)
+            assert providers
+            assert providers <= cores
+
+    def test_some_users_multihomed(self):
+        topo = scionlab_with_user_ases(users_per_core=3, seed=7)
+        multihomed = [
+            asn for asn in topo.non_core_asns() if len(topo.providers(asn)) > 1
+        ]
+        assert multihomed
+
+    def test_connected(self):
+        topo = scionlab_with_user_ases()
+        assert topo.is_connected()
