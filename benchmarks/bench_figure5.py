@@ -7,9 +7,11 @@ from conftest import run_once
 from repro.experiments.figure5 import run_figure5
 
 
-def test_figure5(benchmark, scale, core_topologies):
+def test_figure5(benchmark, scale, core_topologies, runtime):
     result = run_once(
-        benchmark, lambda: run_figure5(scale, topologies=core_topologies)
+        benchmark,
+        lambda: run_figure5(scale, topologies=core_topologies, runtime=runtime),
+        runtime=runtime,
     )
     print()
     print(result.render())

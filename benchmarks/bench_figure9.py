@@ -11,7 +11,9 @@ def test_figure9(benchmark, scionlab_result):
 
     bandwidths = result.interface_bandwidths
     assert bandwidths, "no interface carried beacons"
-    assert all(bps > 0 for bps in bandwidths)
+    # Idle interfaces legitimately report 0 Bps; nothing may go negative.
+    assert all(bps >= 0 for bps in bandwidths)
+    assert any(bps > 0 for bps in bandwidths)
 
     # Paper: "The beaconing overhead in SCIONLab is less than 4 KB/s per
     # interface for almost 80% of all core interfaces".

@@ -5,8 +5,10 @@ from conftest import run_once
 from repro.experiments.table1 import run_table1
 
 
-def test_table1(benchmark, scale):
-    result = run_once(benchmark, lambda: run_table1(scale))
+def test_table1(benchmark, scale, runtime):
+    result = run_once(
+        benchmark, lambda: run_table1(scale, runtime=runtime), runtime=runtime
+    )
     print()
     print(result.render())
     # Every component must land in the paper's scope/frequency cell.

@@ -5,6 +5,15 @@ selectable with ``REPRO_BENCH_SCALE`` (``test`` for a quick smoke run,
 ``bench`` — the default — for the shape-faithful run, ``paper`` for the
 published sizes). Expensive experiment results are shared session-wide so
 e.g. Figures 7, 8 and 9 reuse one SCIONLab run.
+
+The suite runs through :class:`repro.runtime.ExperimentRuntime`:
+``REPRO_BENCH_JOBS`` sets the worker-process count (default: the CPU
+count; set ``1`` for a strictly serial run — results are byte-identical
+either way), and ``REPRO_BENCH_CACHE`` points at a warm-state cache
+directory (default: no cache, so timings measure real work; point it at a
+persistent directory to skip topology construction and beaconing warm-up
+on reruns). Each experiment's per-phase timings land in the pytest-
+benchmark ``extra_info`` and therefore in ``--benchmark-json`` output.
 """
 
 from __future__ import annotations
@@ -15,19 +24,44 @@ import pytest
 
 from repro.experiments import get_scale
 from repro.experiments.common import build_core_topologies
+from repro.runtime import ExperimentRuntime, default_jobs
 
 
 def pytest_report_header(config):
-    return f"repro benchmark scale: {_scale_name()}"
+    return (
+        f"repro benchmark scale: {_scale_name()}, jobs: {_jobs()}, "
+        f"cache: {_cache_dir() or 'off'}"
+    )
 
 
 def _scale_name() -> str:
     return os.environ.get("REPRO_BENCH_SCALE", "bench")
 
 
+def _jobs() -> int:
+    override = os.environ.get("REPRO_BENCH_JOBS")
+    if override:
+        return max(1, int(override))
+    return default_jobs()
+
+
+def _cache_dir():
+    return os.environ.get("REPRO_BENCH_CACHE") or None
+
+
 @pytest.fixture(scope="session")
 def scale():
     return get_scale(_scale_name())
+
+
+def _new_runtime() -> ExperimentRuntime:
+    return ExperimentRuntime(jobs=_jobs(), cache=_cache_dir())
+
+
+@pytest.fixture()
+def runtime():
+    """A fresh runtime per benchmark, so timing reports don't mix."""
+    return _new_runtime()
 
 
 @pytest.fixture(scope="session")
@@ -47,7 +81,7 @@ def figure6_result(scale, core_topologies, _result_cache):
 
     if "figure6" not in _result_cache:
         _result_cache["figure6"] = run_figure6(
-            scale, topologies=core_topologies
+            scale, topologies=core_topologies, runtime=_new_runtime()
         )
     return _result_cache["figure6"]
 
@@ -57,10 +91,20 @@ def scionlab_result(scale, _result_cache):
     from repro.experiments.scionlab import run_scionlab
 
     if "scionlab" not in _result_cache:
-        _result_cache["scionlab"] = run_scionlab(scale)
+        _result_cache["scionlab"] = run_scionlab(
+            scale, runtime=_new_runtime()
+        )
     return _result_cache["scionlab"]
 
 
-def run_once(benchmark, func):
-    """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
+def run_once(benchmark, func, runtime=None):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    When a runtime is passed, its per-phase timing report is attached to
+    the benchmark's ``extra_info`` so the benchmark JSON carries the
+    phase/cache/counter trajectory alongside the wall time.
+    """
+    result = benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
+    if runtime is not None and runtime.report.phases:
+        benchmark.extra_info["runtime"] = runtime.report.to_dict()
+    return result

@@ -3,9 +3,19 @@
 Usage::
 
     python -m repro.experiments <experiment> [--scale test|bench|paper]
+                                [--jobs N] [--cache-dir DIR | --no-cache]
+                                [--no-timing]
 
 Experiments: table1, figure5, figure6 (6a+6b), figure7, figure8, figure9
 (7-9 share one run), scionlab, gridsearch, all.
+
+``--jobs N`` fans independent beaconing series out over N worker
+processes; ``--jobs 1`` (the default) runs the same code path serially and
+produces byte-identical results. Expensive prerequisites (topologies,
+warm-up snapshots, BGP measurements) are cached under ``--cache-dir``
+(default ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``), so a second
+invocation skips straight to the measurement window — the timing report
+printed after each experiment shows which phases were served from cache.
 """
 
 from __future__ import annotations
@@ -14,6 +24,7 @@ import argparse
 import sys
 import time
 
+from ..runtime import ExperimentRuntime, default_cache_dir, default_jobs
 from .config import get_scale
 from .figure5 import run_figure5
 from .figure6 import run_figure6
@@ -35,27 +46,64 @@ def main(argv=None) -> int:
         ],
     )
     parser.add_argument("--scale", default="bench")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for independent beaconing series "
+            f"(1 = serial; this machine would default to {default_jobs()})"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "directory for cached topologies/warm-up snapshots "
+            f"(default: {default_cache_dir()})"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk prerequisite cache",
+    )
+    parser.add_argument(
+        "--no-timing",
+        action="store_true",
+        help="suppress the per-phase timing report",
+    )
     args = parser.parse_args(argv)
     scale = get_scale(args.scale)
 
+    def make_runtime() -> ExperimentRuntime:
+        cache = None
+        if not args.no_cache:
+            cache = args.cache_dir if args.cache_dir else default_cache_dir()
+        return ExperimentRuntime(jobs=args.jobs, cache=cache)
+
     runners = {
-        "table1": lambda: run_table1(scale).render(),
-        "figure5": lambda: run_figure5(scale).render(),
-        "figure6": lambda: run_figure6(scale).render(),
-        "figure6a": lambda: run_figure6(scale).render(),
-        "figure6b": lambda: run_figure6(scale).render(),
-        "figure7": lambda: run_scionlab(scale).render(),
-        "figure8": lambda: run_scionlab(scale).render(),
-        "figure9": lambda: run_scionlab(scale).render(),
-        "scionlab": lambda: run_scionlab(scale).render(),
-        "gridsearch": lambda: _render_gridsearch(scale),
+        "table1": lambda rt: run_table1(scale, runtime=rt).render(),
+        "figure5": lambda rt: run_figure5(scale, runtime=rt).render(),
+        "figure6": lambda rt: run_figure6(scale, runtime=rt).render(),
+        "figure6a": lambda rt: run_figure6(scale, runtime=rt).render(),
+        "figure6b": lambda rt: run_figure6(scale, runtime=rt).render(),
+        "figure7": lambda rt: run_scionlab(scale, runtime=rt).render(),
+        "figure8": lambda rt: run_scionlab(scale, runtime=rt).render(),
+        "figure9": lambda rt: run_scionlab(scale, runtime=rt).render(),
+        "scionlab": lambda rt: run_scionlab(scale, runtime=rt).render(),
+        "gridsearch": lambda rt: _render_gridsearch(scale),
     }
     names = list(runners) if args.experiment == "all" else [args.experiment]
     if args.experiment == "all":
         names = ["table1", "figure5", "figure6", "scionlab", "gridsearch"]
     for name in names:
+        runtime = make_runtime()
         start = time.time()
-        print(runners[name]())
+        print(runners[name](runtime))
+        if not args.no_timing and runtime.report.phases:
+            print()
+            print(runtime.report.render())
         print(f"[{name} completed in {time.time() - start:.1f}s]\n")
     return 0
 

@@ -30,13 +30,12 @@ from ..bgp.churn import BGPChurnModel, monthly_bgp_bytes, monthly_bgpsec_bytes
 from ..bgp.prefixes import assign_prefix_counts
 from ..bgp.simulator import BGPSimulation
 from ..core.scoring import DiversityParams
-from ..simulation.beaconing import baseline_factory, diversity_factory
+from ..runtime import ExperimentRuntime, SeriesSpec, topology_fingerprint
 from ..topology.model import Topology
 from .common import (
     CoreTopologies,
     build_core_topologies,
     build_large_isd,
-    run_beaconing_steady,
 )
 from .config import ExperimentScale
 from .report import format_cdf_series, format_magnitude
@@ -139,28 +138,14 @@ def _nearest_degree_proxy(
     return mapping
 
 
-def run_figure5(
-    scale: ExperimentScale,
-    *,
-    params: Optional[DiversityParams] = None,
-    storage_limit: int = 60,
-    topologies: Optional[CoreTopologies] = None,
-) -> Figure5Result:
-    """Run all four protocol measurements and assemble the comparison."""
-    topos = topologies if topologies is not None else build_core_topologies(scale)
-    monitors = topos.monitor_asns(scale.num_monitors)
-
-    # --- BGP and BGPsec on the full Internet topology --------------------
-    bgp_sim = BGPSimulation(topos.internet).run()
-    prefix_counts = assign_prefix_counts(topos.internet, seed=scale.seed)
-    churn = BGPChurnModel(seed=scale.seed)
-    monthly: Dict[str, Dict[int, float]] = {
-        "bgp": {},
-        "bgpsec": {},
-        "scion-core-baseline": {},
-        "scion-core-diversity": {},
-        "scion-intra-isd-baseline": {},
-    }
+def _bgp_monthly(
+    internet: Topology, monitors: List[int], seed: int
+) -> Dict[str, Dict[int, float]]:
+    """Converged BGP/BGPsec monthly bytes per monitor (cache-friendly)."""
+    bgp_sim = BGPSimulation(internet).run()
+    prefix_counts = assign_prefix_counts(internet, seed=seed)
+    churn = BGPChurnModel(seed=seed)
+    monthly: Dict[str, Dict[int, float]] = {"bgp": {}, "bgpsec": {}}
     for monitor in monitors:
         monthly["bgp"][monitor] = monthly_bgp_bytes(
             bgp_sim, monitor, prefix_counts, churn
@@ -168,41 +153,108 @@ def run_figure5(
         monthly["bgpsec"][monitor] = monthly_bgpsec_bytes(
             bgp_sim, monitor, prefix_counts
         )
+    return monthly
 
-    # --- SCION core beaconing (steady state, month-extrapolated) ---------
-    core_config = scale.core_beaconing_config(storage_limit)
-    base_sim, window = run_beaconing_steady(
-        topos.scion_core,
-        baseline_factory(),
-        core_config,
-        warmup_intervals=scale.warmup_intervals,
-    )
-    div_sim, _ = run_beaconing_steady(
-        topos.scion_core,
-        diversity_factory(params=params),
-        core_config,
-        warmup_intervals=scale.warmup_intervals,
-    )
-    for monitor in monitors:
-        monthly["scion-core-baseline"][monitor] = scale_to_month(
-            base_sim.metrics.bytes_received_by(monitor), window
-        )
-        monthly["scion-core-diversity"][monitor] = scale_to_month(
-            div_sim.metrics.bytes_received_by(monitor), window
-        )
 
-    # --- SCION intra-ISD beaconing (baseline, as in the paper) -----------
-    isd = build_large_isd(scale, topos.internet)
-    intra_sim, intra_window = run_beaconing_steady(
-        isd,
-        baseline_factory(),
-        scale.intra_isd_config(storage_limit),
-        warmup_intervals=scale.warmup_intervals,
+def run_figure5(
+    scale: ExperimentScale,
+    *,
+    params: Optional[DiversityParams] = None,
+    storage_limit: int = 60,
+    topologies: Optional[CoreTopologies] = None,
+    runtime: Optional[ExperimentRuntime] = None,
+) -> Figure5Result:
+    """Run all four protocol measurements and assemble the comparison."""
+    rt = runtime if runtime is not None else ExperimentRuntime()
+    rt.report.experiment = rt.report.experiment or "figure5"
+    rt.report.scale = scale.name
+
+    if topologies is not None:
+        topos = topologies
+    else:
+        topos = rt.cached_value(
+            "core-topologies",
+            [scale],
+            lambda: build_core_topologies(scale),
+            phase="build-core-topologies",
+        )
+    monitors = topos.monitor_asns(scale.num_monitors)
+    internet_fp = topology_fingerprint(topos.internet)
+
+    # --- BGP and BGPsec on the full Internet topology --------------------
+    bgp_monthly = rt.cached_value(
+        "figure5-bgp",
+        [internet_fp, monitors, scale.seed],
+        lambda: _bgp_monthly(topos.internet, monitors, scale.seed),
+        phase="bgp-convergence",
+    )
+    monthly: Dict[str, Dict[int, float]] = {
+        "bgp": dict(bgp_monthly["bgp"]),
+        "bgpsec": dict(bgp_monthly["bgpsec"]),
+        "scion-core-baseline": {},
+        "scion-core-diversity": {},
+        "scion-intra-isd-baseline": {},
+    }
+
+    # --- SCION intra-ISD topology + monitor proxies ----------------------
+    isd = rt.cached_value(
+        "large-isd",
+        [scale, internet_fp],
+        lambda: build_large_isd(scale, topos.internet),
+        phase="build-large-isd",
     )
     proxy = _nearest_degree_proxy(monitors, isd, topos.internet)
+
+    # --- the three beaconing series, fanned out over the pool ------------
+    core_config = scale.core_beaconing_config(storage_limit)
+    monitor_set = tuple(sorted(monitors))
+    specs = [
+        (
+            topos.scion_core,
+            SeriesSpec(
+                name="scion-core-baseline",
+                algorithm="baseline",
+                config=core_config,
+                warmup_intervals=scale.warmup_intervals,
+                seed=scale.seed,
+                collect_received=monitor_set,
+            ),
+        ),
+        (
+            topos.scion_core,
+            SeriesSpec(
+                name="scion-core-diversity",
+                algorithm="diversity",
+                config=core_config,
+                warmup_intervals=scale.warmup_intervals,
+                params=params,
+                seed=scale.seed,
+                collect_received=monitor_set,
+            ),
+        ),
+        (
+            isd,
+            SeriesSpec(
+                name="scion-intra-isd-baseline",
+                algorithm="baseline",
+                config=scale.intra_isd_config(storage_limit),
+                warmup_intervals=scale.warmup_intervals,
+                seed=scale.seed,
+                collect_received=tuple(sorted(set(proxy.values()))),
+            ),
+        ),
+    ]
+    outcomes = {o.name: o for o in rt.run_series(specs)}
+
     for monitor in monitors:
+        for name in ("scion-core-baseline", "scion-core-diversity"):
+            outcome = outcomes[name]
+            monthly[name][monitor] = scale_to_month(
+                outcome.received_bytes[monitor], outcome.duration
+            )
+        intra = outcomes["scion-intra-isd-baseline"]
         monthly["scion-intra-isd-baseline"][monitor] = scale_to_month(
-            intra_sim.metrics.bytes_received_by(proxy[monitor]), intra_window
+            intra.received_bytes[proxy[monitor]], intra.duration
         )
 
     return Figure5Result(

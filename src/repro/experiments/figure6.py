@@ -29,11 +29,7 @@ from ..analysis.resilience import path_set_resilience
 from ..analysis.stats import EmpiricalCDF
 from ..bgp.simulator import BGPSimulation
 from ..core.scoring import DiversityParams
-from ..simulation.beaconing import (
-    BeaconingSimulation,
-    baseline_factory,
-    diversity_factory,
-)
+from ..runtime import ExperimentRuntime, SeriesSpec, topology_fingerprint
 from .common import CoreTopologies, build_core_topologies
 from .config import ExperimentScale
 from .report import format_cdf_series
@@ -183,30 +179,13 @@ def sample_pairs(
     return sorted(pairs)
 
 
-def run_figure6(
-    scale: ExperimentScale,
-    *,
-    params: Optional[DiversityParams] = None,
-    diversity_limits: Sequence[Optional[int]] = DEFAULT_DIVERSITY_LIMITS,
-    topologies: Optional[CoreTopologies] = None,
-) -> Figure6Result:
-    topos = topologies if topologies is not None else build_core_topologies(scale)
+def _bgp_multipath_values(
+    topos: CoreTopologies, pairs: Sequence[Tuple[int, int]]
+) -> List[int]:
+    """§5.3: "choosing the best path present in RouteViews and assuming full
+    BGP multi-path support between every AS pair" — the single best AS
+    path, with every parallel link of each adjacency on it usable."""
     core = topos.scion_core
-    pairs = sample_pairs(core.asns(), scale.num_pairs, scale.seed)
-
-    values: Dict[str, List[int]] = {}
-
-    # --- optimum over the full core topology ------------------------------
-    optimum_graph = flow_graph_from_topology(core)
-    values["optimum"] = [
-        max_flow(optimum_graph, origin, receiver)
-        for origin, receiver in pairs
-    ]
-
-    # --- BGP with full multipath ------------------------------------------
-    # §5.3: "choosing the best path present in RouteViews and assuming full
-    # BGP multi-path support between every AS pair" — the single best AS
-    # path, with every parallel link of each adjacency on it usable.
     bgp_sim = BGPSimulation(topos.bgp_core).run()
     bgp_values: List[int] = []
     for origin, receiver in pairs:
@@ -222,35 +201,82 @@ def run_figure6(
         bgp_values.append(
             path_set_resilience(core, origin, receiver, [link_ids])
         )
-    values["bgp"] = bgp_values
+    return bgp_values
 
-    # --- SCION algorithms ---------------------------------------------------
+
+def run_figure6(
+    scale: ExperimentScale,
+    *,
+    params: Optional[DiversityParams] = None,
+    diversity_limits: Sequence[Optional[int]] = DEFAULT_DIVERSITY_LIMITS,
+    topologies: Optional[CoreTopologies] = None,
+    runtime: Optional[ExperimentRuntime] = None,
+) -> Figure6Result:
+    rt = runtime if runtime is not None else ExperimentRuntime()
+    rt.report.experiment = rt.report.experiment or "figure6"
+    rt.report.scale = scale.name
+
+    if topologies is not None:
+        topos = topologies
+    else:
+        topos = rt.cached_value(
+            "core-topologies",
+            [scale],
+            lambda: build_core_topologies(scale),
+            phase="build-core-topologies",
+        )
+    core = topos.scion_core
+    core_fp = topology_fingerprint(core)
+    pairs = sample_pairs(core.asns(), scale.num_pairs, scale.seed)
+
+    values: Dict[str, List[int]] = {}
+
+    # --- optimum over the full core topology ------------------------------
+    with rt.report.phase("optimum-max-flow"):
+        optimum_graph = flow_graph_from_topology(core)
+        values["optimum"] = [
+            max_flow(optimum_graph, origin, receiver)
+            for origin, receiver in pairs
+        ]
+
+    # --- BGP with full multipath ------------------------------------------
+    values["bgp"] = rt.cached_value(
+        "figure6-bgp",
+        [core_fp, pairs],
+        lambda: _bgp_multipath_values(topos, pairs),
+        phase="bgp-multipath",
+    )
+
+    # --- SCION algorithms, one series per (algorithm, limit) --------------
     # The diversity algorithm pairs with the diversity-preserving store
     # eviction; the baseline keeps the production shortest-path policy.
-    def run_scion(
-        factory, storage_limit: Optional[int], eviction: str
-    ) -> List[int]:
-        import dataclasses
+    import dataclasses
 
+    def scion_spec(
+        name: str, algorithm: str, storage_limit: Optional[int], eviction: str
+    ) -> Tuple:
         config = dataclasses.replace(
             scale.core_beaconing_config(storage_limit),
             eviction_policy=eviction,
         )
-        sim = BeaconingSimulation(core, factory, config).run()
-        out: List[int] = []
-        for origin, receiver in pairs:
-            paths = [
-                pcb.link_ids() for pcb in sim.paths_at(receiver, origin)
-            ]
-            out.append(
-                path_set_resilience(core, origin, receiver, paths)
-            )
-        return out
-
-    values["baseline(60)"] = run_scion(baseline_factory(), 60, "shortest")
-    for limit in diversity_limits:
-        values[_series_name(limit)] = run_scion(
-            diversity_factory(params=params), limit, "diverse"
+        return (
+            core,
+            SeriesSpec(
+                name=name,
+                algorithm=algorithm,
+                config=config,
+                params=params if algorithm == "diversity" else None,
+                seed=scale.seed,
+                collect_pairs=tuple(pairs),
+            ),
         )
+
+    specs = [scion_spec("baseline(60)", "baseline", 60, "shortest")]
+    specs.extend(
+        scion_spec(_series_name(limit), "diversity", limit, "diverse")
+        for limit in diversity_limits
+    )
+    for outcome in rt.run_series(specs):
+        values[outcome.name] = list(outcome.resilience)
 
     return Figure6Result(values=values, pairs=pairs, scale_name=scale.name)

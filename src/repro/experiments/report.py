@@ -12,7 +12,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.stats import EmpiricalCDF
 
-__all__ = ["format_table", "format_cdf_series", "format_magnitude", "format_bytes"]
+__all__ = [
+    "format_table",
+    "format_cdf_series",
+    "format_magnitude",
+    "format_bytes",
+    "format_timing_report",
+]
 
 
 def format_table(
@@ -55,6 +61,44 @@ def format_bytes(count: float) -> str:
             return f"{value:.4g} {unit}"
         value /= 1024.0
     raise AssertionError("unreachable")
+
+
+def format_timing_report(report) -> str:
+    """Render a :class:`~repro.runtime.instrument.RunReport` as a table.
+
+    One row per phase: wall time, whether the phase was served from the
+    warm-state cache ("cached" — e.g. a skipped warm-up), and the domain
+    counters the phase recorded (beaconing intervals, PCBs, bytes).
+    """
+    headers = ["phase", "seconds", "cache", "counters"]
+    rows: List[List[str]] = []
+    for record in report.phases:
+        counters = " ".join(
+            f"{name}={int(value) if float(value).is_integer() else value}"
+            for name, value in sorted(record.counters.items())
+        )
+        rows.append(
+            [
+                record.name,
+                f"{record.seconds:.3f}",
+                "cached" if record.cached else "-",
+                counters or "-",
+            ]
+        )
+    title = "Timing report"
+    qualifiers = []
+    if report.experiment:
+        qualifiers.append(report.experiment)
+    if report.scale:
+        qualifiers.append(f"scale={report.scale}")
+    qualifiers.append(f"jobs={report.jobs}")
+    title += f" ({', '.join(qualifiers)})"
+    lines = [format_table(headers, rows, title=title)]
+    lines.append(f"  total phase time: {report.total_seconds:.3f}s")
+    cached = report.cached_phases()
+    if cached:
+        lines.append(f"  cache hits: {', '.join(cached)}")
+    return "\n".join(lines)
 
 
 def format_cdf_series(

@@ -25,16 +25,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.flows import flow_graph_from_topology, max_flow
-from ..analysis.resilience import path_set_resilience
 from ..analysis.stats import EmpiricalCDF
 from ..core.scoring import DiversityParams
-from ..simulation.beaconing import (
-    BeaconingConfig,
-    BeaconingMode,
-    BeaconingSimulation,
-    baseline_factory,
-    diversity_factory,
-)
+from ..runtime import ExperimentRuntime, SeriesSpec
+from ..simulation.beaconing import BeaconingConfig, BeaconingMode
 from ..topology.scionlab import scionlab_core
 from .config import ExperimentScale
 from .report import format_cdf_series
@@ -132,12 +126,17 @@ def run_scionlab(
     *,
     params: Optional[DiversityParams] = None,
     seed: int = 7,
+    runtime: Optional[ExperimentRuntime] = None,
 ) -> ScionlabResult:
     """Run the Appendix B evaluation on the testbed topology.
 
     ``scale`` only controls the beaconing timing (the topology is the fixed
     21-AS testbed); None uses the paper timing.
     """
+    rt = runtime if runtime is not None else ExperimentRuntime()
+    rt.report.experiment = rt.report.experiment or "scionlab"
+    rt.report.scale = scale.name if scale else "paper-timing"
+
     topo = scionlab_core(seed=seed)
     base_config = BeaconingConfig(
         interval=scale.interval if scale else 600.0,
@@ -150,35 +149,52 @@ def run_scionlab(
     pairs = [(a, b) for a in asns for b in asns if a != b]
 
     values: Dict[str, List[int]] = {}
-    optimum_graph = flow_graph_from_topology(topo)
-    values["optimum"] = [
-        max_flow(optimum_graph, a, b) for a, b in pairs
+    with rt.report.phase("optimum-max-flow"):
+        optimum_graph = flow_graph_from_topology(topo)
+        values["optimum"] = [
+            max_flow(optimum_graph, a, b) for a, b in pairs
+        ]
+
+    # One series per algorithm/storage-limit combination; the measurement
+    # proxy (baseline, production storage limit 5) also collects the
+    # Figure 9 per-interface bandwidth distribution.
+    specs = [
+        (
+            topo,
+            SeriesSpec(
+                name="measurement",
+                algorithm="baseline",
+                config=base_config,
+                seed=seed,
+                collect_pairs=tuple(pairs),
+                collect_bandwidth=True,
+            ),
+        )
     ]
-
-    def quality(sim: BeaconingSimulation) -> List[int]:
-        out = []
-        for origin, receiver in pairs:
-            paths = [p.link_ids() for p in sim.paths_at(receiver, origin)]
-            out.append(path_set_resilience(topo, origin, receiver, paths))
-        return out
-
-    measurement_sim = BeaconingSimulation(
-        topo, baseline_factory(), base_config
-    ).run()
-    values["measurement"] = quality(measurement_sim)
-    values["baseline(5)"] = list(values["measurement"])
-
     for limit in DIVERSITY_LIMITS:
         config = dataclasses.replace(
             base_config, storage_limit=limit, eviction_policy="diverse"
         )
-        sim = BeaconingSimulation(
-            topo, diversity_factory(params=params), config
-        ).run()
-        values[f"diversity({limit})"] = quality(sim)
+        specs.append(
+            (
+                topo,
+                SeriesSpec(
+                    name=f"diversity({limit})",
+                    algorithm="diversity",
+                    config=config,
+                    params=params,
+                    seed=seed,
+                    collect_pairs=tuple(pairs),
+                ),
+            )
+        )
 
-    duration = base_config.num_intervals * base_config.interval
-    bandwidths = measurement_sim.metrics.per_interface_bandwidth(duration)
+    bandwidths: List[float] = []
+    for outcome in rt.run_series(specs):
+        values[outcome.name] = list(outcome.resilience)
+        if outcome.name == "measurement":
+            bandwidths = list(outcome.interface_bandwidths)
+    values["baseline(5)"] = list(values["measurement"])
 
     return ScionlabResult(
         values=values,

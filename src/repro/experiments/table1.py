@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..control.messages import Component, ControlMessageLog, Scope
 from ..control.network import ScionNetwork
+from ..runtime import ExperimentRuntime
 from .common import build_full_stack_topology
 from .config import ExperimentScale
 from .report import format_table
@@ -138,52 +139,74 @@ def _zipf_destination(rng: random.Random, destinations: List[int], s: float = 1.
     return rng.choices(destinations, weights=weights, k=1)[0]
 
 
-def run_table1(scale: ExperimentScale) -> Table1Result:
-    topology = build_full_stack_topology(scale)
-    network = ScionNetwork(
-        topology,
-        algorithm="baseline",
-        core_config=scale.core_beaconing_config(20),
-        intra_config=scale.intra_isd_config(20),
-    ).run()
+def run_table1(
+    scale: ExperimentScale,
+    *,
+    runtime: Optional[ExperimentRuntime] = None,
+) -> Table1Result:
+    rt = runtime if runtime is not None else ExperimentRuntime()
+    rt.report.experiment = rt.report.experiment or "table1"
+    rt.report.scale = scale.name
+
+    # The full-stack scenario is one tightly-coupled network (beaconing,
+    # registrations, lookups and revocations share state), so it runs
+    # serially; the runtime contributes topology caching and phase timing.
+    topology = rt.cached_value(
+        "full-stack-topology",
+        [scale],
+        lambda: build_full_stack_topology(scale),
+        phase="build-topology",
+    )
+    with rt.report.phase("beaconing-and-registration") as record:
+        network = ScionNetwork(
+            topology,
+            algorithm="baseline",
+            core_config=scale.core_beaconing_config(20),
+            intra_config=scale.intra_isd_config(20),
+        ).run()
+        record.counters["core_pcbs"] = (
+            network.core_sim.metrics.total_pcbs if network.core_sim else 0
+        )
     rng = random.Random(scale.seed)
 
     # --- workload: three hours of endpoint activity ------------------------
     # Long enough that cached segment lookups visibly refresh at cache-TTL
     # (hours) granularity while endpoint flows arrive every few seconds.
-    leaves = sorted(network.local_servers)
-    destinations = sorted(topology.asns())
-    start = network.now
-    window = 3 * 3600.0
-    active = leaves[:2]
-    steps = 720  # one flow every 15 seconds
-    for step in range(steps):
-        now = start + step * (window / steps)
-        endpoint = active[step % len(active)]
-        destination = _zipf_destination(
-            rng, [d for d in destinations if d != endpoint]
+    with rt.report.phase("endpoint-workload") as workload:
+        leaves = sorted(network.local_servers)
+        destinations = sorted(topology.asns())
+        start = network.now
+        window = 3 * 3600.0
+        active = leaves[:2]
+        steps = 720  # one flow every 15 seconds
+        for step in range(steps):
+            now = start + step * (window / steps)
+            endpoint = active[step % len(active)]
+            destination = _zipf_destination(
+                rng, [d for d in destinations if d != endpoint]
+            )
+            try:
+                network.lookup_paths(endpoint, destination, now=now)
+            except ValueError:
+                continue
+        # Periodic re-registration every ten minutes.
+        for minute in range(10, int(window // 60), 10):
+            network.refresh_registrations(start + minute * 60.0)
+        # A link failure triggers revocations near the end of the window.
+        some_core_link = next(
+            link for link in topology.links()
+            if topology.as_node(link.a.asn).is_core
         )
-        try:
-            network.lookup_paths(endpoint, destination, now=now)
-        except ValueError:
-            continue
-    # Periodic re-registration every ten minutes.
-    for minute in range(10, int(window // 60), 10):
-        network.refresh_registrations(start + minute * 60.0)
-    # A link failure triggers revocations near the end of the window.
-    some_core_link = next(
-        link for link in topology.links()
-        if topology.as_node(link.a.asn).is_core
-    )
-    network.now = start + window - 30.0
-    network.fail_link(some_core_link.link_id)
-    assert network.revocations is not None
-    revocation = network.revocations._revoked[some_core_link.link_id]
-    network.revocations.notify_path_users(
-        revocation,
-        {leaf: [(some_core_link.link_id,)] for leaf in active},
-        network.now + 1.0,
-    )
+        network.now = start + window - 30.0
+        network.fail_link(some_core_link.link_id)
+        assert network.revocations is not None
+        revocation = network.revocations._revoked[some_core_link.link_id]
+        network.revocations.notify_path_users(
+            revocation,
+            {leaf: [(some_core_link.link_id,)] for leaf in active},
+            network.now + 1.0,
+        )
+        workload.counters["lookups"] = steps
 
     # --- classify ----------------------------------------------------------
     rows: List[Table1Row] = []

@@ -1,0 +1,38 @@
+"""Parallel experiment execution with warm-state caching.
+
+The runtime layer fans independent beaconing series out across a process
+pool, memoizes expensive deterministic prerequisites (topologies, warm-up
+snapshots, BGP measurements) to a content-addressed disk cache, and
+instruments every run with a per-phase timing/counter report. See
+:mod:`repro.runtime.pool` for the orchestrator and
+:mod:`repro.runtime.worker` for the picklable task bodies.
+"""
+
+from .cache import (
+    CACHE_DIR_ENV,
+    ExperimentCache,
+    default_cache_dir,
+    fingerprint,
+    stable_key,
+    topology_fingerprint,
+)
+from .instrument import PhaseRecord, RunReport
+from .pool import ExperimentRuntime, default_jobs
+from .worker import SeriesOutcome, SeriesSpec, SeriesTask, execute_series
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "ExperimentCache",
+    "ExperimentRuntime",
+    "PhaseRecord",
+    "RunReport",
+    "SeriesOutcome",
+    "SeriesSpec",
+    "SeriesTask",
+    "default_cache_dir",
+    "default_jobs",
+    "execute_series",
+    "fingerprint",
+    "stable_key",
+    "topology_fingerprint",
+]

@@ -1,0 +1,160 @@
+"""The experiment execution layer: process pool + cache + instrumentation.
+
+:class:`ExperimentRuntime` is what the figure harnesses run their work
+through. It owns three orthogonal concerns:
+
+* **fan-out** — independent beaconing series (each storage-limit/algorithm
+  combination of Figures 5-9) are dispatched to a ``ProcessPoolExecutor``
+  when ``jobs > 1``; ``jobs == 1`` executes the *same* task bodies
+  in-process, which keeps tests deterministic and is the reference the
+  parallel path must match byte-for-byte;
+* **caching** — expensive shared prerequisites (topology construction,
+  warm-up snapshots, converged BGP measurements) are memoized to disk via
+  :class:`~repro.runtime.cache.ExperimentCache`; pass ``cache=None`` to
+  disable;
+* **observability** — every phase lands in a
+  :class:`~repro.runtime.instrument.RunReport`, including the per-series
+  worker-side timings, so cache hits and parallel speedup are visible in
+  the CLI output and the benchmark JSON.
+
+The beaconing workload is embarrassingly parallel across series (and, for
+the figures, across origin ASes within the per-pair analysis), so the
+wall-time win is roughly the worker count for the series-heavy figures.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+from ..topology.model import Topology
+from .cache import ExperimentCache, stable_key, topology_fingerprint
+from .instrument import RunReport
+from .worker import SeriesOutcome, SeriesSpec, SeriesTask, execute_series
+
+__all__ = ["ExperimentRuntime", "default_jobs"]
+
+
+def default_jobs() -> int:
+    """``$REPRO_JOBS``, else the machine's CPU count."""
+    override = os.environ.get("REPRO_JOBS")
+    if override:
+        return max(1, int(override))
+    return os.cpu_count() or 1
+
+
+class ExperimentRuntime:
+    """Runs experiment work with fan-out, caching and timing.
+
+    ``cache`` may be an :class:`ExperimentCache`, a directory path, or
+    ``None`` (no caching, the default — unit tests and library callers get
+    pure functions unless they opt in).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Union[ExperimentCache, os.PathLike, str, None] = None,
+        report: Optional[RunReport] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        if cache is None or isinstance(cache, ExperimentCache):
+            self.cache = cache
+        else:
+            self.cache = ExperimentCache(cache)
+        self.report = report if report is not None else RunReport(jobs=jobs)
+        self.report.jobs = jobs
+
+    # ------------------------------------------------------- cached values
+
+    def cached_value(
+        self,
+        kind: str,
+        key_parts: Sequence[Any],
+        build: Callable[[], Any],
+        *,
+        phase: Optional[str] = None,
+    ) -> Any:
+        """Build-or-load a deterministic prerequisite, timed as a phase."""
+        phase_name = phase or kind
+        if self.cache is None:
+            with self.report.phase(phase_name):
+                return build()
+        key = stable_key(kind, list(key_parts))
+        with self.report.phase(phase_name) as record:
+            hit, value = self.cache.get_or_build(key, build)
+            record.cached = hit
+        return value
+
+    # ----------------------------------------------------------- fan-out
+
+    def run_series(
+        self, tasks: Sequence[Tuple[Topology, SeriesSpec]]
+    ) -> List[SeriesOutcome]:
+        """Execute beaconing series, possibly in parallel.
+
+        Returns outcomes in task order regardless of completion order, so
+        results are independent of scheduling.
+        """
+        prepared = [self._prepare(topology, spec) for topology, spec in tasks]
+        workers = min(self.jobs, len(prepared))
+        if workers <= 1:
+            outcomes = [execute_series(task) for task in prepared]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(execute_series, prepared))
+        for outcome in outcomes:
+            self._record(outcome)
+        return outcomes
+
+    def _prepare(self, topology: Topology, spec: SeriesSpec) -> SeriesTask:
+        if self.cache is None:
+            return SeriesTask(spec=spec, topology=topology)
+        # Ship the topology through the cache once instead of pickling it
+        # into every task submission.
+        topology_key = stable_key("topology", topology_fingerprint(topology))
+        # load() rather than contains(): a corrupted entry must be replaced
+        # here, not first discovered by a worker that can't rebuild it.
+        hit, _ = self.cache.load(topology_key)
+        if not hit:
+            self.cache.store(topology_key, topology)
+        return SeriesTask(
+            spec=spec,
+            cache_dir=str(self.cache.directory),
+            topology_key=topology_key,
+        )
+
+    def _record(self, outcome: SeriesOutcome) -> None:
+        timings = outcome.timings
+        warm_phase = "warmup" if "warmup" in timings else "run"
+        warm_seconds = timings.get("warmup", timings.get("measure", 0.0))
+        self.report.add_phase(
+            f"{outcome.name}:{warm_phase}",
+            warm_seconds,
+            cached=outcome.warmup_cached,
+        )
+        if "warmup" in timings:
+            self.report.add_phase(
+                f"{outcome.name}:measure",
+                timings.get("measure", 0.0),
+                counters={
+                    "intervals": outcome.intervals_run,
+                    "pcbs": outcome.total_pcbs,
+                    "bytes": outcome.total_bytes,
+                },
+            )
+        else:
+            # Full-run series: the counters belong to the run phase.
+            self.report.phases[-1].counters.update(
+                {
+                    "intervals": outcome.intervals_run,
+                    "pcbs": outcome.total_pcbs,
+                    "bytes": outcome.total_bytes,
+                }
+            )
+        analyze = timings.get("analyze", 0.0)
+        if outcome.resilience or outcome.interface_bandwidths:
+            self.report.add_phase(f"{outcome.name}:analyze", analyze)

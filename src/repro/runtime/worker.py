@@ -1,0 +1,235 @@
+"""Process-pool task bodies for beaconing experiment series.
+
+A *series* is one beaconing run — one (algorithm, storage limit, eviction
+policy, mode) combination of Figures 5-9 — plus the per-series collection
+the figure needs (bytes received per monitor, path-set resilience per AS
+pair, per-interface bandwidth). Everything a task needs travels as plain
+picklable data (:class:`SeriesSpec` / :class:`SeriesTask`), the task body
+is a module-level function, and results come back as :class:`SeriesOutcome`
+— the three requirements of ``ProcessPoolExecutor`` dispatch.
+
+Warm-state caching lives here so it works identically in-process
+(``--jobs 1``) and in workers: a series with ``warmup_intervals > 0``
+snapshots the simulation after the warm-up (metrics reset), keyed by the
+content hash of topology + algorithm + beaconing config; a series without
+warm-up snapshots the completed run. Either way a rerun skips straight to
+the uncached part. Snapshots are byte-faithful pickles of the simulation,
+so a resumed run is bit-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.resilience import path_set_resilience
+from ..core.scoring import DiversityParams
+from ..simulation.beaconing import (
+    BeaconingConfig,
+    BeaconingSimulation,
+    baseline_factory,
+    diversity_factory,
+)
+from ..topology.model import Topology
+from .cache import ExperimentCache, stable_key, topology_fingerprint
+
+__all__ = [
+    "SeriesSpec",
+    "SeriesTask",
+    "SeriesOutcome",
+    "execute_series",
+]
+
+#: Per-process memo of topologies loaded from the cache, so a worker
+#: executing several series over one topology unpickles it once.
+_TOPOLOGY_MEMO: Dict[str, Topology] = {}
+
+
+@dataclass(frozen=True)
+class SeriesSpec:
+    """One beaconing series and what to collect from it."""
+
+    name: str
+    #: ``"baseline"`` or ``"diversity"`` — resolved to a factory in the
+    #: worker (factory closures don't pickle; names + params do).
+    algorithm: str
+    config: BeaconingConfig
+    warmup_intervals: int = 0
+    dissemination_limit: int = 5
+    params: Optional[DiversityParams] = None
+    #: Deterministic per-worker seeding (the beaconing engine itself is
+    #: seed-free; this pins any library RNG use to a reproducible state).
+    seed: int = 0
+    #: ASNs whose received bytes/PCBs the figure reads (Figure 5 monitors).
+    collect_received: Tuple[int, ...] = ()
+    #: (origin, receiver) pairs to evaluate path-set resilience for
+    #: (Figures 6-8); the max-flow analysis runs inside the worker.
+    collect_pairs: Tuple[Tuple[int, int], ...] = ()
+    #: Collect the per-interface bandwidth CDF input (Figure 9), reported
+    #: over the topology's *full* directed-interface set.
+    collect_bandwidth: bool = False
+
+    def algorithm_factory(self):
+        if self.algorithm == "baseline":
+            return baseline_factory(self.dissemination_limit)
+        if self.algorithm == "diversity":
+            return diversity_factory(self.dissemination_limit, self.params)
+        raise ValueError(f"unknown algorithm {self.algorithm!r}")
+
+    def snapshot_key(self, topology_fp: str) -> str:
+        """Cache key of this series' simulation snapshot.
+
+        A warm-up snapshot is independent of the measurement duration, so
+        sibling series that share warm-up but measure different windows hit
+        the same entry; a full-run snapshot includes the duration.
+        """
+        config = self.config
+        shared = [
+            topology_fp,
+            self.algorithm,
+            self.dissemination_limit,
+            self.params,
+            config.interval,
+            config.pcb_lifetime,
+            config.storage_limit,
+            config.eviction_policy,
+            config.mode,
+            self.seed,
+        ]
+        if self.warmup_intervals:
+            return stable_key("warm-sim", shared, self.warmup_intervals)
+        return stable_key("run-sim", shared, config.duration)
+
+
+@dataclass(frozen=True)
+class SeriesTask:
+    """A :class:`SeriesSpec` plus how the worker obtains its inputs."""
+
+    spec: SeriesSpec
+    #: Inline topology (cache-less mode) ...
+    topology: Optional[Topology] = None
+    #: ... or a cache directory + key to load it from (cached mode, which
+    #: avoids re-pickling the topology into every task submission).
+    cache_dir: Optional[str] = None
+    topology_key: Optional[str] = None
+
+
+@dataclass
+class SeriesOutcome:
+    """Everything a figure reads from one series, picklable and small."""
+
+    name: str
+    #: Measured window in seconds (``num_intervals * interval``).
+    duration: float
+    intervals_run: int = 0
+    total_pcbs: int = 0
+    total_bytes: int = 0
+    received_bytes: Dict[int, int] = field(default_factory=dict)
+    received_pcbs: Dict[int, int] = field(default_factory=dict)
+    #: Aligned with ``spec.collect_pairs``.
+    resilience: List[int] = field(default_factory=list)
+    interface_bandwidths: List[float] = field(default_factory=list)
+    #: Wall time per worker-side phase (setup/warmup/measure/analyze).
+    timings: Dict[str, float] = field(default_factory=dict)
+    warmup_cached: bool = False
+    #: Per-pair stored path sets, keyed by pair — only populated when the
+    #: caller needs the raw paths rather than the resilience values.
+    path_counts: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+
+def _load_topology(task: SeriesTask) -> Topology:
+    if task.topology is not None:
+        return task.topology
+    assert task.cache_dir is not None and task.topology_key is not None
+    memo_key = f"{task.cache_dir}:{task.topology_key}"
+    topology = _TOPOLOGY_MEMO.get(memo_key)
+    if topology is None:
+        cache = ExperimentCache(task.cache_dir)
+        hit, topology = cache.load(task.topology_key)
+        if not hit:
+            raise RuntimeError(
+                f"topology {task.topology_key!r} missing from cache "
+                f"{task.cache_dir!r} (evicted mid-run?)"
+            )
+        _TOPOLOGY_MEMO[memo_key] = topology
+    return topology
+
+
+def execute_series(task: SeriesTask) -> SeriesOutcome:
+    """Run one beaconing series; the process-pool task body.
+
+    Identical code path for serial and parallel execution, which is what
+    makes ``--jobs 1`` and ``--jobs N`` byte-identical.
+    """
+    spec = task.spec
+    random.seed(spec.seed)
+    timings: Dict[str, float] = {}
+
+    start = time.perf_counter()
+    topology = _load_topology(task)
+    cache = ExperimentCache(task.cache_dir) if task.cache_dir else None
+    snapshot_key = (
+        spec.snapshot_key(topology_fingerprint(topology)) if cache else None
+    )
+    timings["setup"] = time.perf_counter() - start
+
+    outcome = SeriesOutcome(
+        name=spec.name,
+        duration=spec.config.num_intervals * spec.config.interval,
+    )
+
+    # --- warm-up (or full run), snapshot-cached ---------------------------
+    start = time.perf_counter()
+    sim: Optional[BeaconingSimulation] = None
+    if cache is not None and snapshot_key is not None:
+        hit, cached_sim = cache.load(snapshot_key)
+        if hit:
+            sim = cached_sim
+            outcome.warmup_cached = True
+    if spec.warmup_intervals:
+        if sim is None:
+            sim = BeaconingSimulation(
+                topology, spec.algorithm_factory(), spec.config
+            )
+            sim.run_intervals(spec.warmup_intervals)
+            sim.reset_metrics()
+            if cache is not None and snapshot_key is not None:
+                cache.store(snapshot_key, sim)
+        timings["warmup"] = time.perf_counter() - start
+        start = time.perf_counter()
+        sim.run_intervals(spec.config.num_intervals)
+        timings["measure"] = time.perf_counter() - start
+    else:
+        if sim is None:
+            sim = BeaconingSimulation(
+                topology, spec.algorithm_factory(), spec.config
+            ).run()
+            if cache is not None and snapshot_key is not None:
+                cache.store(snapshot_key, sim)
+        timings["measure"] = time.perf_counter() - start
+
+    outcome.intervals_run = sim.intervals_run
+    outcome.total_pcbs = sim.metrics.total_pcbs
+    outcome.total_bytes = sim.metrics.total_bytes
+
+    # --- figure-specific collection --------------------------------------
+    start = time.perf_counter()
+    for asn in spec.collect_received:
+        outcome.received_bytes[asn] = sim.metrics.bytes_received_by(asn)
+        outcome.received_pcbs[asn] = sim.metrics.pcbs_received_by(asn)
+    for origin, receiver in spec.collect_pairs:
+        paths = [pcb.link_ids() for pcb in sim.paths_at(receiver, origin)]
+        outcome.path_counts[(origin, receiver)] = len(paths)
+        outcome.resilience.append(
+            path_set_resilience(topology, origin, receiver, paths)
+        )
+    if spec.collect_bandwidth:
+        outcome.interface_bandwidths = sim.metrics.per_interface_bandwidth(
+            outcome.duration, interfaces=sim.directed_interfaces()
+        )
+    timings["analyze"] = time.perf_counter() - start
+
+    outcome.timings = timings
+    return outcome

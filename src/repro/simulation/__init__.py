@@ -1,7 +1,7 @@
 """Simulation layer: discrete-event engine and beaconing drivers."""
 
 from .engine import Event, EventQueue, SimulationClock, Simulator
-from .metrics import InterfaceStats, TrafficMetrics
+from .metrics import InterfaceSnapshot, InterfaceStats, TrafficMetrics
 from .beaconing import (
     BeaconingConfig,
     BeaconingMode,
@@ -16,6 +16,7 @@ __all__ = [
     "EventQueue",
     "SimulationClock",
     "Simulator",
+    "InterfaceSnapshot",
     "InterfaceStats",
     "TrafficMetrics",
     "BeaconingConfig",

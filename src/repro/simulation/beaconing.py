@@ -268,6 +268,19 @@ class BeaconingSimulation:
         last_interval = max(0.0, self.now - self.config.interval)
         return server.store.beacons(origin, now=last_interval)
 
+    def directed_interfaces(self) -> List[tuple]:
+        """The full directed-interface set of this beaconing process:
+        every ``(link_id, sender)`` a participant could send a beacon on
+        (egress links of every server), whether or not it saw traffic.
+        Failed links are excluded. This is the interface population that
+        per-interface bandwidth distributions (Figure 9) cover."""
+        keys = {
+            (link.link_id, server.asn)
+            for server in self.servers.values()
+            for link in server.egress_links
+        }
+        return sorted(keys)
+
     def participant_asns(self) -> List[int]:
         return sorted(self.servers)
 

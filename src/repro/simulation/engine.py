@@ -42,9 +42,17 @@ class Event:
     sequence: int
     action: Callable[[], Any] = field(compare=False)
     canceled: bool = field(default=False, compare=False)
+    #: Owning queue, so cancellation can keep the live-event count exact
+    #: without scanning the heap.
+    owner: Optional["EventQueue"] = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
-        self.canceled = True
+        if not self.canceled:
+            self.canceled = True
+            if self.owner is not None:
+                self.owner._live -= 1
 
 
 class EventQueue:
@@ -53,16 +61,23 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._counter = itertools.count()
+        #: Number of non-canceled events; canceled events linger in the
+        #: heap until popped, so ``len(heap)`` overcounts.
+        self._live = 0
 
     def schedule(self, when: float, action: Callable[[], Any]) -> Event:
-        event = Event(when=when, sequence=next(self._counter), action=action)
+        event = Event(
+            when=when, sequence=next(self._counter), action=action, owner=self
+        )
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def pop_next(self) -> Optional[Event]:
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.canceled:
+                self._live -= 1
                 return event
         return None
 
@@ -72,7 +87,7 @@ class EventQueue:
         return self._heap[0].when if self._heap else None
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.canceled)
+        return self._live
 
 
 class Simulator:
@@ -122,6 +137,12 @@ class Simulator:
             event.action()
             processed += 1
         if until is not None and until > self.now:
-            self.clock.advance_to(until)
+            # Only jump the clock to the horizon once the queue has drained
+            # past it; stopping on the event budget with events still due
+            # before ``until`` must leave the clock where it is, or the next
+            # run() would try to move time backwards.
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > until:
+                self.clock.advance_to(until)
         self.events_processed += processed
         return processed

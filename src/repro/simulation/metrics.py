@@ -9,11 +9,11 @@ link, identified by ``(link_id, sender ASN)``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.policy import Transmission
 
-__all__ = ["InterfaceStats", "TrafficMetrics"]
+__all__ = ["InterfaceStats", "InterfaceSnapshot", "TrafficMetrics"]
 
 InterfaceKey = Tuple[int, int]  # (link_id, sender ASN)
 
@@ -28,6 +28,24 @@ class InterfaceStats:
     def add(self, size: int) -> None:
         self.pcbs += 1
         self.bytes += size
+
+    def snapshot(self) -> "InterfaceSnapshot":
+        return InterfaceSnapshot(pcbs=self.pcbs, bytes=self.bytes)
+
+
+@dataclass(frozen=True)
+class InterfaceSnapshot:
+    """Read-only view of one interface's counters.
+
+    Queries return snapshots rather than live counter objects: a mutable
+    stand-in for an unknown interface invites silently-lost updates (the
+    caller mutates a throwaway), and handing out live registered objects
+    lets callers corrupt the accounting. All mutation goes through
+    :meth:`TrafficMetrics.record`.
+    """
+
+    pcbs: int = 0
+    bytes: int = 0
 
 
 class TrafficMetrics:
@@ -56,11 +74,14 @@ class TrafficMetrics:
 
     # ------------------------------------------------------------- queries
 
-    def interface_stats(self, link_id: int, sender: int) -> InterfaceStats:
-        return self._interfaces.get((link_id, sender), InterfaceStats())
+    def interface_stats(self, link_id: int, sender: int) -> InterfaceSnapshot:
+        stats = self._interfaces.get((link_id, sender))
+        if stats is None:
+            return InterfaceSnapshot()
+        return stats.snapshot()
 
-    def interfaces(self) -> Dict[InterfaceKey, InterfaceStats]:
-        return dict(self._interfaces)
+    def interfaces(self) -> Dict[InterfaceKey, InterfaceSnapshot]:
+        return {key: stats.snapshot() for key, stats in self._interfaces.items()}
 
     def bytes_received_by(self, asn: int) -> int:
         return self._received_bytes.get(asn, 0)
@@ -68,11 +89,30 @@ class TrafficMetrics:
     def pcbs_received_by(self, asn: int) -> int:
         return self._received_pcbs.get(asn, 0)
 
-    def per_interface_bandwidth(self, duration: float) -> List[float]:
-        """Bytes per second sent on each active directed interface."""
+    def per_interface_bandwidth(
+        self,
+        duration: float,
+        interfaces: Optional[Iterable[InterfaceKey]] = None,
+    ) -> List[float]:
+        """Bytes per second sent on each directed interface.
+
+        ``interfaces`` should be the topology's full directed-interface set
+        (e.g. :meth:`BeaconingSimulation.directed_interfaces`): interfaces
+        that sent nothing then report 0 Bps instead of vanishing from the
+        distribution, which would bias a bandwidth CDF (Figure 9) upward.
+        Without ``interfaces`` only active interfaces are reported.
+        """
         if duration <= 0:
             raise ValueError("duration must be positive")
-        return [stats.bytes / duration for stats in self._interfaces.values()]
+        if interfaces is None:
+            return [
+                stats.bytes / duration for stats in self._interfaces.values()
+            ]
+        out: List[float] = []
+        for key in interfaces:
+            stats = self._interfaces.get(key)
+            out.append(stats.bytes / duration if stats is not None else 0.0)
+        return out
 
     def mean_pcb_size(self) -> float:
         return self.total_bytes / self.total_pcbs if self.total_pcbs else 0.0

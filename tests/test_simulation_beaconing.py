@@ -212,3 +212,45 @@ class TestConfig:
         assert isinstance(a, DiversityAlgorithm)
         assert a is not b
         assert a.dissemination_limit == 3
+
+
+class TestDirectedInterfaces:
+    def test_covers_every_egress_direction(self):
+        topo = line_core(3)
+        config = BeaconingConfig(
+            interval=10.0, duration=30.0, pcb_lifetime=100.0
+        )
+        sim = BeaconingSimulation(topo, baseline_factory(), config)
+        keys = sim.directed_interfaces()
+        assert len(keys) == len(set(keys)) == 4  # 2 links x 2 directions
+        assert keys == sorted(keys)
+        for link in topo.links():
+            assert (link.link_id, link.a.asn) in keys
+            assert (link.link_id, link.b.asn) in keys
+
+    def test_failed_links_are_excluded(self):
+        topo = line_core(3)
+        config = BeaconingConfig(
+            interval=10.0, duration=30.0, pcb_lifetime=100.0
+        )
+        sim = BeaconingSimulation(topo, baseline_factory(), config)
+        victim = next(iter(topo.links()))
+        sim.fail_link(victim.link_id)
+        keys = sim.directed_interfaces()
+        assert all(link_id != victim.link_id for link_id, _ in keys)
+
+    def test_bandwidth_population_includes_idle_interfaces(self):
+        """Figure 9 regression: a quiet interface must appear in the CDF
+        population with 0 Bps rather than vanish."""
+        topo = line_core(4)
+        config = BeaconingConfig(
+            interval=10.0, duration=20.0, pcb_lifetime=100.0
+        )
+        sim = BeaconingSimulation(topo, baseline_factory(), config).run()
+        population = sim.directed_interfaces()
+        bandwidths = sim.metrics.per_interface_bandwidth(
+            config.duration, interfaces=population
+        )
+        assert len(bandwidths) == len(population)
+        legacy = sim.metrics.per_interface_bandwidth(config.duration)
+        assert len(bandwidths) >= len(legacy)

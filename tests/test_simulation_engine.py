@@ -105,3 +105,63 @@ class TestSimulator:
         sim.run()
         with pytest.raises(ValueError):
             sim.schedule_at(1.0, lambda: None)
+
+
+class TestSimulatorRegression:
+    def test_max_events_stop_does_not_skip_horizon_events(self):
+        """Regression: run(until=..., max_events=...) that stops on the
+        event budget must not advance the clock past still-queued events —
+        that made the next run() crash with 'cannot move time backwards'."""
+        sim = Simulator()
+        hits = []
+        for i in range(1, 7):
+            sim.schedule(float(i), lambda t=i: hits.append(t))
+        assert sim.run(until=5.0, max_events=2) == 2
+        assert sim.now == 2.0  # not jumped to the 5.0 horizon
+        sim.run()  # must not raise
+        assert hits == [1, 2, 3, 4, 5, 6]
+        assert sim.now == 6.0
+
+    def test_horizon_advance_still_happens_when_drained(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_horizon_stops_before_later_events(self):
+        """With an event beyond the horizon the clock stops at the
+        horizon, keeping the event runnable later."""
+        sim = Simulator()
+        hits = []
+        sim.schedule(10.0, lambda: hits.append(1))
+        sim.run(until=5.0, max_events=100)
+        assert sim.now == 5.0 and hits == []
+        sim.run(until=20.0)
+        assert hits == [1]
+
+
+class TestEventQueueLen:
+    def test_len_is_live_count(self):
+        queue = EventQueue()
+        events = [queue.schedule(float(i), lambda: None) for i in range(5)]
+        assert len(queue) == 5
+        events[2].cancel()
+        assert len(queue) == 4
+        queue.pop_next()
+        assert len(queue) == 3
+
+    def test_double_cancel_counts_once(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_len_drains_to_zero(self):
+        queue = EventQueue()
+        for i in range(3):
+            queue.schedule(float(i + 1), lambda: None)
+        while queue.pop_next() is not None:
+            pass
+        assert len(queue) == 0

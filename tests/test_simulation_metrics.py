@@ -90,3 +90,74 @@ class TestTransmissionWireSize:
         assert transmission.pcb.wire_size() == expected + (
             PCB_HOP_FIXED_BYTES + SIGNATURE_BYTES
         )
+
+
+class TestInterfaceSnapshots:
+    def test_interface_stats_returns_read_only_snapshot(self, wire):
+        """Regression: interface_stats() used to hand back a fresh,
+        unattached InterfaceStats — callers mutating it silently lost the
+        update. It now returns an immutable point-in-time snapshot."""
+        _, link, transmission = wire
+        metrics = TrafficMetrics()
+        metrics.record(transmission)
+        snapshot = metrics.interface_stats(link.link_id, 1)
+        with pytest.raises(Exception):
+            snapshot.pcbs = 99  # type: ignore[misc]
+        # The snapshot is a copy: later traffic doesn't retro-mutate it.
+        metrics.record(transmission)
+        assert snapshot.pcbs == 1
+        assert metrics.interface_stats(link.link_id, 1).pcbs == 2
+
+    def test_unknown_interface_snapshot_is_detached(self):
+        metrics = TrafficMetrics()
+        snapshot = metrics.interface_stats(99, 1)
+        assert snapshot.pcbs == 0 and snapshot.bytes == 0
+        # Asking for an unknown interface must not create an entry.
+        assert (99, 1) not in metrics.interfaces()
+
+    def test_interfaces_returns_snapshots(self, wire):
+        _, link, transmission = wire
+        metrics = TrafficMetrics()
+        metrics.record(transmission)
+        view = metrics.interfaces()
+        assert view[(link.link_id, 1)].pcbs == 1
+        with pytest.raises(Exception):
+            view[(link.link_id, 1)].bytes = 0  # type: ignore[misc]
+
+
+class TestFullInterfaceBandwidth:
+    def test_idle_interfaces_report_zero(self, wire):
+        """Regression: per_interface_bandwidth() only reported interfaces
+        that carried traffic, silently dropping idle ones from the Figure 9
+        CDF and biasing it upward."""
+        _, link, transmission = wire
+        metrics = TrafficMetrics()
+        metrics.record(transmission)
+        full_set = [(link.link_id, 1), (link.link_id, 2), (77, 3)]
+        bandwidths = metrics.per_interface_bandwidth(
+            10.0, interfaces=full_set
+        )
+        assert len(bandwidths) == 3
+        assert sorted(bandwidths) == [
+            0.0, 0.0, transmission.wire_size / 10.0
+        ]
+
+    def test_interface_set_is_authoritative(self, wire):
+        """When a set is given, it defines the population — order and
+        length follow it exactly."""
+        _, link, transmission = wire
+        metrics = TrafficMetrics()
+        metrics.record(transmission)
+        assert metrics.per_interface_bandwidth(10.0, interfaces=[]) == []
+        only_idle = metrics.per_interface_bandwidth(
+            10.0, interfaces=[(link.link_id, 2)]
+        )
+        assert only_idle == [0.0]
+
+    def test_legacy_call_reports_active_only(self, wire):
+        _, _, transmission = wire
+        metrics = TrafficMetrics()
+        metrics.record(transmission)
+        assert metrics.per_interface_bandwidth(10.0) == [
+            transmission.wire_size / 10.0
+        ]

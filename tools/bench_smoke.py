@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""CI smoke benchmark: every figure at TEST scale through the parallel runtime.
+
+Runs table1, figure5, figure6 and the scionlab trio (Figures 7-9) at the
+``test`` scale via :class:`repro.runtime.ExperimentRuntime`, then appends
+one perf-trajectory entry to ``BENCH_smoke.json`` (a JSON list; one entry
+per invocation) with wall time, per-phase timings, and cache hit/miss
+counts per experiment. Intended as a fast CI gate that exercises the
+process-pool fan-out and the warm-state cache end to end::
+
+    PYTHONPATH=src python tools/bench_smoke.py [--jobs N] [--cache-dir DIR]
+                                               [--output FILE] [--label TEXT]
+
+With ``--cache-dir`` pointing at a persistent directory, the second CI run
+demonstrates warm-start: the entry records which phases were served from
+cache, so a trajectory regression (warm-up suddenly re-running) is visible
+in the JSON diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.experiments import get_scale  # noqa: E402
+from repro.experiments.figure5 import run_figure5  # noqa: E402
+from repro.experiments.figure6 import run_figure6  # noqa: E402
+from repro.experiments.scionlab import run_scionlab  # noqa: E402
+from repro.experiments.table1 import run_table1  # noqa: E402
+from repro.runtime import ExperimentRuntime, default_jobs  # noqa: E402
+
+EXPERIMENTS = {
+    "table1": run_table1,
+    "figure5": run_figure5,
+    "figure6": run_figure6,
+    "scionlab": run_scionlab,  # Figures 7, 8 and 9 share this run.
+}
+
+
+def run_smoke(jobs: int, cache_dir: str | None) -> dict:
+    results = {}
+    for name, runner in EXPERIMENTS.items():
+        runtime = ExperimentRuntime(jobs=jobs, cache=cache_dir)
+        start = time.perf_counter()
+        result = runner(get_scale("test"), runtime=runtime)
+        wall = time.perf_counter() - start
+        # Render to prove the output path works; discard the text.
+        rendered = result.render()
+        assert rendered
+        entry = {
+            "wall_seconds": round(wall, 3),
+            "report": runtime.report.to_dict(),
+        }
+        if runtime.cache is not None:
+            entry["cache"] = {
+                "hits": runtime.cache.hits,
+                "misses": runtime.cache.misses,
+            }
+        results[name] = entry
+        cached = runtime.report.cached_phases()
+        served = f", cached: {', '.join(cached)}" if cached else ""
+        print(f"  {name}: {wall:.2f}s{served}")
+    return results
+
+
+def append_trajectory(output: Path, entry: dict) -> None:
+    history = []
+    if output.exists():
+        try:
+            history = json.loads(output.read_text())
+        except (ValueError, OSError):
+            history = []
+        if not isinstance(history, list):
+            history = [history]
+    history.append(entry)
+    output.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=default_jobs())
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="warm-state cache directory (default: no cache)",
+    )
+    parser.add_argument(
+        "--output", default=str(ROOT / "BENCH_smoke.json"),
+        help="trajectory file to append to",
+    )
+    parser.add_argument(
+        "--label", default="", help="free-form tag stored with the entry"
+    )
+    args = parser.parse_args(argv)
+
+    print(
+        f"smoke run: scale=test jobs={args.jobs} "
+        f"cache={args.cache_dir or 'off'}"
+    )
+    started = time.time()
+    results = run_smoke(args.jobs, args.cache_dir)
+    entry = {
+        "timestamp": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime(started)
+        ),
+        "label": args.label,
+        "scale": "test",
+        "jobs": args.jobs,
+        "cache": bool(args.cache_dir),
+        "python": platform.python_version(),
+        "total_seconds": round(
+            sum(e["wall_seconds"] for e in results.values()), 3
+        ),
+        "experiments": results,
+    }
+    append_trajectory(Path(args.output), entry)
+    print(
+        f"total {entry['total_seconds']:.2f}s -> appended to {args.output}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
