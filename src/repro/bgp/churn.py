@@ -21,8 +21,8 @@ convergence simulation, keeping the comparison internally consistent:
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass
+from random import Random
 from typing import Dict, Mapping
 
 from .bgpsec import bgpsec_update_size
@@ -44,11 +44,18 @@ class BGPChurnModel:
     sigma: float = 1.0
     seed: int = 0
 
+    def rng(self, origin: int) -> Random:
+        """The explicit per-origin RNG: every random draw of the churn
+        model flows through here, seeded by (model seed, origin), so event
+        counts are reproducible per origin and independent of call order
+        or any global :mod:`random` state."""
+        return Random((self.seed << 32) ^ origin)
+
     def events_per_month(self, origin: int) -> float:
         """Deterministic monthly event count for one origin AS."""
         if self.mean_events_per_month <= 0:
             raise ValueError("mean_events_per_month must be positive")
-        rng = random.Random((self.seed << 32) ^ origin)
+        rng = self.rng(origin)
         # Lognormal with the configured mean: E[exp(N(mu, sigma))] = mean.
         mu = math.log(self.mean_events_per_month) - self.sigma**2 / 2.0
         return math.exp(rng.gauss(mu, self.sigma))

@@ -55,11 +55,11 @@ class RevocationService:
     def __init__(
         self,
         topology: Topology,
-        core_servers: Dict[int, CorePathServer],
+        core_servers: Optional[Dict[int, CorePathServer]] = None,
         log: Optional[ControlMessageLog] = None,
     ) -> None:
         self.topology = topology
-        self.core_servers = dict(core_servers)
+        self.core_servers = dict(core_servers) if core_servers else {}
         self.log = log if log is not None else ControlMessageLog()
         self._revoked: Dict[int, Revocation] = {}
 
@@ -67,7 +67,14 @@ class RevocationService:
 
     def revoke_link(self, link_id: int, now: float) -> Revocation:
         """Reaction 1: the AS owning the link revokes affected segments at
-        the core path servers of its ISD (intra-ISD scope)."""
+        the core path servers of its ISD (intra-ISD scope).
+
+        Without instantiated path servers (beaconing-level fault runs) the
+        intra-ISD dissemination is still accounted: one revocation message
+        per core AS of the issuing ISD lands in the log, so revocation
+        byte counts are comparable across the full-stack and
+        beaconing-only setups.
+        """
         link = self.topology.link(link_id)
         issuing_asn = link.a.asn
         revocation = Revocation(
@@ -75,21 +82,41 @@ class RevocationService:
         )
         self._revoked[link_id] = revocation
         isd = self.topology.as_node(issuing_asn).isd
-        for server in self.core_servers.values():
-            if isd is not None and server.isd != isd:
-                continue
-            removed = server.revoke_link(link_id, now)
-            self.log.log(
-                Component.PATH_REVOCATION,
-                Scope.ISD,
-                revocation_size(),
-                now,
-                issuing_asn,
-                server.asn,
-            )
-            if removed == 0:
-                continue
+        servers = [
+            server
+            for server in self.core_servers.values()
+            if isd is None or server.isd == isd
+        ]
+        if servers:
+            for server in sorted(servers, key=lambda s: s.asn):
+                server.revoke_link(link_id, now)
+                self.log.log(
+                    Component.PATH_REVOCATION,
+                    Scope.ISD,
+                    revocation_size(),
+                    now,
+                    issuing_asn,
+                    server.asn,
+                )
+        else:
+            for asn in self._core_recipients(isd):
+                self.log.log(
+                    Component.PATH_REVOCATION,
+                    Scope.ISD,
+                    revocation_size(),
+                    now,
+                    issuing_asn,
+                    asn,
+                )
         return revocation
+
+    def _core_recipients(self, isd: Optional[int]) -> List[int]:
+        """Core ASes of ``isd`` (all core ASes when ISDs are unassigned)."""
+        return sorted(
+            asn
+            for asn in self.topology.core_asns()
+            if isd is None or self.topology.as_node(asn).isd == isd
+        )
 
     def notify_path_users(
         self,

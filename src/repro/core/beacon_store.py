@@ -145,6 +145,32 @@ class BeaconStore:
                 self._sorted_cache.pop(origin, None)
         return removed
 
+    def remove_traversing_as(self, asn: int) -> int:
+        """Remove every stored beacon whose path visits ``asn``.
+
+        The beaconing-level reaction to an AS outage: every path through
+        the failed AS is unusable, whichever of its links it entered by.
+        """
+        removed = 0
+        for origin in list(self._by_origin):
+            bucket = self._by_origin[origin]
+            stale = [
+                key for key, pcb in bucket.items() if pcb.contains_as(asn)
+            ]
+            for key in stale:
+                del bucket[key]
+                removed += 1
+            if stale:
+                self._sorted_cache.pop(origin, None)
+        return removed
+
+    def clear(self) -> int:
+        """Drop everything (a beacon-server restart); returns the count."""
+        removed = self.count()
+        self._by_origin.clear()
+        self._sorted_cache.clear()
+        return removed
+
     def purge_expired(self, now: float) -> int:
         """Drop all expired beacons; returns how many were removed."""
         removed = 0

@@ -100,6 +100,19 @@ class DiversityAlgorithm(PathConstructionAlgorithm):
                 record.counted_links
             )
 
+    def on_link_revoked(self, link_id: int) -> None:
+        """Drop sent records for paths crossing the revoked link.
+
+        Counters track *valid* sent paths; a revoked path is invalid, so
+        its counters are released immediately instead of at instance
+        expiry, and the path becomes eligible for fresh (Eq. 2) selection
+        once the link recovers.
+        """
+        for record in self.sent.purge_crossing(link_id):
+            self.history.table(record.origin, record.neighbor).decrement(
+                record.counted_links
+            )
+
     # -------------------------------------------------------------- select
 
     def select(

@@ -87,5 +87,14 @@ class PathConstructionAlgorithm(abc.ABC):
         already on its path.
         """
 
+    def on_link_revoked(self, link_id: int) -> None:
+        """A link revocation (§4.1) reached this beacon server.
+
+        Stateful algorithms drop their bookkeeping for paths crossing the
+        revoked link so that, once the link recovers, re-dissemination is
+        not suppressed by records of now-invalid sent instances. The
+        stateless baseline needs no reaction.
+        """
+
     def _neighbor_of(self, link: Link) -> int:
         return link.other(self.asn)

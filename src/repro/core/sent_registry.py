@@ -84,6 +84,29 @@ class SentRegistry:
                 del self._by_link[link_id]
         return expired
 
+    def purge_crossing(self, link_id: int) -> List[SentRecord]:
+        """Remove and return all records whose sent path crosses ``link_id``
+        (including records *for* that egress link).
+
+        Called when a link revocation reaches the beacon server: the sent
+        instances are no longer valid paths, so their Link History Table
+        counters must be released and a later re-send must not be
+        suppressed by Eq. (3).
+        """
+        removed: List[SentRecord] = []
+        for egress_id in list(self._by_link):
+            bucket = self._by_link[egress_id]
+            stale = [
+                key
+                for key, record in bucket.items()
+                if link_id in record.counted_links
+            ]
+            for key in stale:
+                removed.append(bucket.pop(key))
+            if not bucket:
+                del self._by_link[egress_id]
+        return removed
+
     def records(self, egress_link_id: int) -> List[SentRecord]:
         return list(self._by_link.get(egress_link_id, {}).values())
 

@@ -7,7 +7,8 @@ Usage::
                                 [--no-timing]
 
 Experiments: table1, figure5, figure6 (6a+6b), figure7, figure8, figure9
-(7-9 share one run), scionlab, gridsearch, all.
+(7-9 share one run), scionlab, gridsearch, faults (fault-injection
+recovery study; see ``--fault-schedules``), all.
 
 ``--jobs N`` fans independent beaconing series out over N worker
 processes; ``--jobs 1`` (the default) runs the same code path serially and
@@ -26,6 +27,7 @@ import time
 
 from ..runtime import ExperimentRuntime, default_cache_dir, default_jobs
 from .config import get_scale
+from .faults import run_faults
 from .figure5 import run_figure5
 from .figure6 import run_figure6
 from .gridsearch import run_gridsearch
@@ -42,7 +44,8 @@ def main(argv=None) -> int:
         "experiment",
         choices=[
             "table1", "figure5", "figure6", "figure6a", "figure6b",
-            "figure7", "figure8", "figure9", "scionlab", "gridsearch", "all",
+            "figure7", "figure8", "figure9", "scionlab", "gridsearch",
+            "faults", "all",
         ],
     )
     parser.add_argument("--scale", default="bench")
@@ -73,6 +76,15 @@ def main(argv=None) -> int:
         action="store_true",
         help="suppress the per-phase timing report",
     )
+    parser.add_argument(
+        "--fault-schedules",
+        type=int,
+        default=None,
+        help=(
+            "randomized fault schedules per algorithm for the 'faults' "
+            "experiment (default: per-scale preset)"
+        ),
+    )
     args = parser.parse_args(argv)
     scale = get_scale(args.scale)
 
@@ -93,10 +105,16 @@ def main(argv=None) -> int:
         "figure9": lambda rt: run_scionlab(scale, runtime=rt).render(),
         "scionlab": lambda rt: run_scionlab(scale, runtime=rt).render(),
         "gridsearch": lambda rt: _render_gridsearch(scale),
+        "faults": lambda rt: run_faults(
+            scale, num_schedules=args.fault_schedules, runtime=rt
+        ).render(),
     }
     names = list(runners) if args.experiment == "all" else [args.experiment]
     if args.experiment == "all":
-        names = ["table1", "figure5", "figure6", "scionlab", "gridsearch"]
+        names = [
+            "table1", "figure5", "figure6", "scionlab", "gridsearch",
+            "faults",
+        ]
     for name in names:
         runtime = make_runtime()
         start = time.time()

@@ -1,0 +1,51 @@
+"""Deterministic, seed-driven fault injection (§4.1 / §5.3 dynamics).
+
+The subsystem has four layers:
+
+* :mod:`~repro.faults.schedule` — validated, picklable fault schedules
+  (link failures/recoveries, AS outages, beacon-loss bursts) drawn from a
+  seed;
+* :mod:`~repro.faults.injector` — applies a schedule to a
+  :class:`~repro.simulation.beaconing.BeaconingSimulation`, drives §4.1
+  revocations, and records recovery metrics;
+* :mod:`~repro.faults.runner` — process-pool task bodies so fault runs
+  fan out and cache through :class:`~repro.runtime.ExperimentRuntime`
+  exactly like beaconing series;
+* :mod:`~repro.faults.bgp` — the BGP-side differential (topology surgery
+  plus re-convergence) for the same schedules.
+"""
+
+from .bgp import BGPFaultReport, bgp_fault_differential, degraded_topology
+from .injector import (
+    BeaconLossModel,
+    FaultInjector,
+    FaultRunResult,
+    PairRecovery,
+)
+from .runner import FaultOutcome, FaultSpec, FaultTask, execute_fault_run
+from .schedule import (
+    FaultEvent,
+    FaultKind,
+    FaultPlanConfig,
+    FaultSchedule,
+    random_schedule,
+)
+
+__all__ = [
+    "BGPFaultReport",
+    "BeaconLossModel",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultOutcome",
+    "FaultPlanConfig",
+    "FaultRunResult",
+    "FaultSchedule",
+    "FaultSpec",
+    "FaultTask",
+    "PairRecovery",
+    "bgp_fault_differential",
+    "degraded_topology",
+    "execute_fault_run",
+    "random_schedule",
+]

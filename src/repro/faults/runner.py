@@ -1,0 +1,143 @@
+"""Process-pool task bodies for fault-injection runs.
+
+Mirrors :mod:`repro.runtime.worker`: everything a fault run needs travels
+as plain picklable data (:class:`FaultSpec` / :class:`FaultTask`), the task
+body is a module-level function, and results come back as
+:class:`FaultOutcome`. The cached artifact is the final
+:class:`~repro.faults.injector.FaultRunResult` — a tree of primitives — so
+a cache hit is byte-identical to the run that produced it, and ``--jobs 1``
+versus ``--jobs N`` compare equal by pickle.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..control.revocation import RevocationService
+from ..core.scoring import DiversityParams
+from ..runtime.cache import ExperimentCache, stable_key, topology_fingerprint
+from ..runtime.worker import _load_topology
+from ..simulation.beaconing import (
+    BeaconingConfig,
+    BeaconingSimulation,
+    baseline_factory,
+    diversity_factory,
+)
+from ..topology.model import Topology
+from .injector import FaultInjector, FaultRunResult
+from .schedule import FaultSchedule
+
+__all__ = [
+    "FaultSpec",
+    "FaultTask",
+    "FaultOutcome",
+    "execute_fault_run",
+]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault-injection run: a beaconing setup plus a fault schedule."""
+
+    name: str
+    #: ``"baseline"`` or ``"diversity"`` — resolved to a factory in the
+    #: worker (factory closures don't pickle; names + params do).
+    algorithm: str
+    config: BeaconingConfig
+    schedule: FaultSchedule
+    dissemination_limit: int = 5
+    params: Optional[DiversityParams] = None
+    seed: int = 0
+    #: Seed of the deterministic beacon-loss model (loss bursts only).
+    loss_seed: int = 0
+    #: (origin, receiver) pairs whose recovery the injector tracks.
+    pairs: Tuple[Tuple[int, int], ...] = ()
+    #: Account §4.1 revocation messages through a RevocationService.
+    account_revocations: bool = True
+
+    def algorithm_factory(self):
+        if self.algorithm == "baseline":
+            return baseline_factory(self.dissemination_limit)
+        if self.algorithm == "diversity":
+            return diversity_factory(self.dissemination_limit, self.params)
+        raise ValueError(f"unknown algorithm {self.algorithm!r}")
+
+    def result_key(self, topology_fp: str) -> str:
+        """Cache key of this run's result (spec is pure primitives)."""
+        return stable_key("fault-run", topology_fp, self)
+
+
+@dataclass(frozen=True)
+class FaultTask:
+    """A :class:`FaultSpec` plus how the worker obtains its topology.
+
+    Field names match :class:`~repro.runtime.worker.SeriesTask` so the
+    worker-side topology loader (inline value, or cache dir + key with a
+    per-process memo) is shared between the two task kinds.
+    """
+
+    spec: FaultSpec
+    topology: Optional[Topology] = None
+    cache_dir: Optional[str] = None
+    topology_key: Optional[str] = None
+
+
+@dataclass
+class FaultOutcome:
+    """One fault run's report. ``result`` is deliberately separate from
+    ``timings``: the former is deterministic and compared across jobs
+    counts, the latter is wall-clock noise."""
+
+    name: str
+    result: FaultRunResult
+    cached: bool = False
+    timings: Dict[str, float] = field(default_factory=dict)
+
+
+def execute_fault_run(task: FaultTask) -> FaultOutcome:
+    """Run one fault-injection schedule; the process-pool task body."""
+    spec = task.spec
+    random.seed(spec.seed)
+    timings: Dict[str, float] = {}
+
+    start = time.perf_counter()
+    topology = _load_topology(task)
+    cache = ExperimentCache(task.cache_dir) if task.cache_dir else None
+    result_key = (
+        spec.result_key(topology_fingerprint(topology)) if cache else None
+    )
+    timings["setup"] = time.perf_counter() - start
+
+    if cache is not None and result_key is not None:
+        hit, cached_result = cache.load(result_key)
+        if hit:
+            timings["run"] = 0.0
+            return FaultOutcome(
+                name=spec.name,
+                result=cached_result,
+                cached=True,
+                timings=timings,
+            )
+
+    start = time.perf_counter()
+    sim = BeaconingSimulation(topology, spec.algorithm_factory(), spec.config)
+    revocations = (
+        RevocationService(topology) if spec.account_revocations else None
+    )
+    injector = FaultInjector(
+        sim,
+        spec.schedule,
+        pairs=spec.pairs,
+        revocations=revocations,
+        loss_seed=spec.loss_seed,
+        name=spec.name,
+    )
+    result = injector.run()
+    timings["run"] = time.perf_counter() - start
+
+    if cache is not None and result_key is not None:
+        cache.store(result_key, result)
+    return FaultOutcome(name=spec.name, result=result, timings=timings)

@@ -40,7 +40,9 @@ __all__ = [
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Bump to invalidate every existing cache entry on format changes.
-_CACHE_VERSION = "1"
+#: "2": BeaconingSimulation snapshots gained fault-injection state
+#: (failed-AS set, loss model, loss counter, algorithm factory).
+_CACHE_VERSION = "2"
 
 #: Sentinel distinguishing "entry absent" from a cached ``None``.
 _MISS = object()

@@ -110,20 +110,68 @@ class ExperimentRuntime:
             self._record(outcome)
         return outcomes
 
-    def _prepare(self, topology: Topology, spec: SeriesSpec) -> SeriesTask:
+    def run_faults(self, tasks: Sequence[Tuple[Topology, Any]]) -> List[Any]:
+        """Execute fault-injection runs (:class:`~repro.faults.runner.
+        FaultSpec`), possibly in parallel — same dispatch, shipping and
+        ordering discipline as :meth:`run_series`, so ``--jobs 1`` and
+        ``--jobs N`` produce pickle-identical results."""
+        # Imported lazily: repro.faults.runner imports this package.
+        from ..faults.runner import FaultTask, execute_fault_run
+
+        prepared = []
+        for topology, spec in tasks:
+            cache_dir, topology_key = self._ship_topology(topology)
+            if cache_dir is None:
+                prepared.append(FaultTask(spec=spec, topology=topology))
+            else:
+                prepared.append(
+                    FaultTask(
+                        spec=spec,
+                        cache_dir=cache_dir,
+                        topology_key=topology_key,
+                    )
+                )
+        workers = min(self.jobs, len(prepared))
+        if workers <= 1:
+            outcomes = [execute_fault_run(task) for task in prepared]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(execute_fault_run, prepared))
+        for outcome in outcomes:
+            self.report.add_phase(
+                f"{outcome.name}:run",
+                outcome.timings.get("run", 0.0),
+                cached=outcome.cached,
+                counters={
+                    "events": outcome.result.events_applied,
+                    "revocations": outcome.result.revocations_issued,
+                    "beacons_revoked": outcome.result.beacons_revoked,
+                },
+            )
+        return outcomes
+
+    def _ship_topology(
+        self, topology: Topology
+    ) -> Tuple[Optional[str], Optional[str]]:
+        """Store the topology in the cache once; workers load it by key.
+        Returns ``(None, None)`` in cache-less mode (inline shipping)."""
         if self.cache is None:
-            return SeriesTask(spec=spec, topology=topology)
-        # Ship the topology through the cache once instead of pickling it
-        # into every task submission.
+            return None, None
         topology_key = stable_key("topology", topology_fingerprint(topology))
         # load() rather than contains(): a corrupted entry must be replaced
         # here, not first discovered by a worker that can't rebuild it.
         hit, _ = self.cache.load(topology_key)
         if not hit:
             self.cache.store(topology_key, topology)
+        return str(self.cache.directory), topology_key
+
+    def _prepare(self, topology: Topology, spec: SeriesSpec) -> SeriesTask:
+        cache_dir, topology_key = self._ship_topology(topology)
+        if cache_dir is None:
+            return SeriesTask(spec=spec, topology=topology)
         return SeriesTask(
             spec=spec,
-            cache_dir=str(self.cache.directory),
+            cache_dir=cache_dir,
             topology_key=topology_key,
         )
 

@@ -76,15 +76,40 @@ class BeaconingConfig:
         return int(self.duration // self.interval)
 
 
-def baseline_factory(dissemination_limit: int = 5) -> AlgorithmFactory:
-    """Factory for per-AS baseline algorithm instances."""
+# The factories are module-level callable objects (not closures) because
+# the simulation keeps its factory for server rebuilds after AS recovery,
+# and warm-state snapshots pickle the whole simulation.
+@dataclass(frozen=True)
+class _BaselineFactory:
+    dissemination_limit: int = 5
 
-    def make(asn: int, topology: Topology) -> PathConstructionAlgorithm:
+    def __call__(
+        self, asn: int, topology: Topology
+    ) -> PathConstructionAlgorithm:
         return BaselineAlgorithm(
-            asn, topology, dissemination_limit=dissemination_limit
+            asn, topology, dissemination_limit=self.dissemination_limit
         )
 
-    return make
+
+@dataclass(frozen=True)
+class _DiversityFactory:
+    dissemination_limit: int = 5
+    params: Optional[DiversityParams] = None
+
+    def __call__(
+        self, asn: int, topology: Topology
+    ) -> PathConstructionAlgorithm:
+        return DiversityAlgorithm(
+            asn,
+            topology,
+            dissemination_limit=self.dissemination_limit,
+            params=self.params,
+        )
+
+
+def baseline_factory(dissemination_limit: int = 5) -> AlgorithmFactory:
+    """Factory for per-AS baseline algorithm instances."""
+    return _BaselineFactory(dissemination_limit)
 
 
 def diversity_factory(
@@ -92,16 +117,7 @@ def diversity_factory(
     params: Optional[DiversityParams] = None,
 ) -> AlgorithmFactory:
     """Factory for per-AS path-diversity algorithm instances."""
-
-    def make(asn: int, topology: Topology) -> PathConstructionAlgorithm:
-        return DiversityAlgorithm(
-            asn,
-            topology,
-            dissemination_limit=dissemination_limit,
-            params=params,
-        )
-
-    return make
+    return _DiversityFactory(dissemination_limit, params)
 
 
 @dataclass
@@ -130,8 +146,15 @@ class BeaconingSimulation:
         self.now = 0.0
         self.intervals_run = 0
         self._failed_links: set = set()
+        self._failed_ases: set = set()
         self._in_flight: List[Transmission] = []
         self.servers: Dict[int, BeaconServerSim] = {}
+        #: Optional deterministic message-loss model consulted at delivery:
+        #: ``loss_model(transmission, interval) -> bool`` (True = drop).
+        self.loss_model: Optional[Callable[[Transmission, int], bool]] = None
+        #: Beacons dropped by the loss model since construction.
+        self.pcbs_lost = 0
+        self._factory = algorithm_factory
         self._build_servers(algorithm_factory)
 
     # --------------------------------------------------------------- setup
@@ -198,6 +221,8 @@ class BeaconingSimulation:
         self._deliver()
         self._originate()
         for asn in sorted(self.servers):
+            if asn in self._failed_ases:
+                continue
             server = self.servers[asn]
             if not server.egress_links:
                 continue
@@ -212,6 +237,13 @@ class BeaconingSimulation:
 
     def _deliver(self) -> None:
         for transmission in self._in_flight:
+            if transmission.receiver in self._failed_ases:
+                continue
+            if self.loss_model is not None and self.loss_model(
+                transmission, self.intervals_run
+            ):
+                self.pcbs_lost += 1
+                continue
             receiver = self.servers.get(transmission.receiver)
             if receiver is not None:
                 receiver.store.insert(transmission.pcb, self.now)
@@ -219,7 +251,7 @@ class BeaconingSimulation:
 
     def _originate(self) -> None:
         for server in self.servers.values():
-            if server.originates:
+            if server.originates and server.asn not in self._failed_ases:
                 pcb = PCB.originate(
                     server.asn, self.now, self.config.pcb_lifetime
                 )
@@ -233,25 +265,103 @@ class BeaconingSimulation:
         The two reactions of §4.1 at beaconing level: the link disappears
         from every beacon server's egress set, and stored beacons crossing
         it are revoked (dropped), so subsequent intervals re-explore around
-        the failure. Returns the number of beacons revoked.
+        the failure. Stateful algorithms are notified so their sent-path
+        bookkeeping does not suppress re-dissemination after recovery.
+        Returns the number of beacons revoked.
         """
         self.topology.link(link_id)  # validate the id
         self._failed_links.add(link_id)
         revoked = 0
         for server in self.servers.values():
-            server.egress_links = [
-                l for l in server.egress_links if l.link_id != link_id
-            ]
             revoked += server.store.remove_crossing(link_id)
+            server.algorithm.on_link_revoked(link_id)
         self._in_flight = [
             t
             for t in self._in_flight
             if link_id not in t.pcb.link_ids()
         ]
+        self._refresh_egress()
         return revoked
+
+    def recover_link(self, link_id: int) -> None:
+        """Bring a previously failed link back into service.
+
+        The link reappears in the egress sets it belongs to; subsequent
+        intervals re-disseminate across it (stores refill hop by hop from
+        the origins, one interval per AS hop).
+        """
+        self.topology.link(link_id)  # validate the id
+        self._failed_links.discard(link_id)
+        self._refresh_egress()
+
+    def fail_as(self, asn: int) -> int:
+        """Take an entire AS out of service (§5.3's partial-outage view).
+
+        The AS stops originating and propagating, every link incident to
+        it disappears from its neighbors' egress sets, its own beacon
+        store is wiped (the beacon-server process is gone), and beacons
+        whose path visits the AS are revoked everywhere — each of its
+        links is effectively failed. Returns the number of beacons revoked.
+        """
+        node = self.topology.as_node(asn)
+        if asn in self._failed_ases:
+            return 0
+        self._failed_ases.add(asn)
+        incident = sorted(link.link_id for link in node.links())
+        revoked = 0
+        for server in self.servers.values():
+            if server.asn == asn:
+                revoked += server.store.clear()
+            else:
+                revoked += server.store.remove_traversing_as(asn)
+            for link_id in incident:
+                server.algorithm.on_link_revoked(link_id)
+        self._in_flight = [
+            t
+            for t in self._in_flight
+            if t.sender != asn
+            and t.receiver != asn
+            and not t.pcb.contains_as(asn)
+        ]
+        self._refresh_egress()
+        return revoked
+
+    def recover_as(self, asn: int) -> None:
+        """Restart a failed AS with a fresh beacon server.
+
+        Store and algorithm state are rebuilt from scratch (a process
+        restart keeps no in-memory state); its links return to service
+        unless individually failed.
+        """
+        self.topology.as_node(asn)  # validate the asn
+        if asn not in self._failed_ases:
+            return
+        self._failed_ases.discard(asn)
+        server = self.servers.get(asn)
+        if server is not None:
+            server.store = BeaconStore(
+                self.config.storage_limit,
+                eviction_policy=self.config.eviction_policy,
+            )
+            server.algorithm = self._factory(asn, self.topology)
+        self._refresh_egress()
+
+    def _refresh_egress(self) -> None:
+        """Recompute every server's egress set from the topology, minus
+        failed links and links terminating at failed ASes."""
+        for server in self.servers.values():
+            server.egress_links = [
+                link
+                for link in self._egress_links(server.asn)
+                if link.link_id not in self._failed_links
+                and link.other(server.asn) not in self._failed_ases
+            ]
 
     def failed_links(self) -> List[int]:
         return sorted(self._failed_links)
+
+    def failed_ases(self) -> List[int]:
+        return sorted(self._failed_ases)
 
     # ------------------------------------------------------------- queries
 

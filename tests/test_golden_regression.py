@@ -1,0 +1,66 @@
+"""Golden-regression diff against the committed figure 5/6 fixtures.
+
+The fixtures pin the full numeric output of the two figure pipelines at
+the deterministic ``test`` scale, so *any* unintended behavior change in
+topology generation, beaconing, BGP convergence, churn modeling or the
+max-flow analysis shows up as a concrete numeric diff — not just as a
+violated qualitative ordering.
+
+If a change is intentional, regenerate with::
+
+    PYTHONPATH=src python tools/regen_fixtures.py
+
+and commit the updated fixtures alongside the change.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import TEST_SCALE
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REGEN = "PYTHONPATH=src python tools/regen_fixtures.py"
+
+
+def load(name: str) -> dict:
+    path = FIXTURES / name
+    assert path.exists(), f"missing fixture {path}; generate it with: {REGEN}"
+    return json.loads(path.read_text())
+
+
+def test_figure6_matches_fixture():
+    fixture = load("figure6_test.json")
+    result = run_figure6(TEST_SCALE)
+    assert [list(pair) for pair in result.pairs] == fixture["pairs"], (
+        f"sampled pair set changed; if intentional, regenerate: {REGEN}"
+    )
+    assert sorted(result.values) == sorted(fixture["values"])
+    for series, expected in fixture["values"].items():
+        # Resilience values are integers: exact comparison.
+        assert list(result.values[series]) == expected, (
+            f"figure6 series {series!r} diverged from the fixture; "
+            f"if intentional, regenerate: {REGEN}"
+        )
+
+
+def test_figure5_matches_fixture():
+    fixture = load("figure5_test.json")
+    result = run_figure5(TEST_SCALE)
+    monthly = result.comparison.monthly_bytes
+    assert sorted(monthly) == sorted(fixture["monthly_bytes"])
+    for series, expected in fixture["monthly_bytes"].items():
+        actual = {str(asn): value for asn, value in monthly[series].items()}
+        assert sorted(actual) == sorted(expected), (
+            f"figure5 series {series!r} monitor set changed; "
+            f"if intentional, regenerate: {REGEN}"
+        )
+        for asn, value in expected.items():
+            # Float pipeline: allow only round-off-level drift.
+            assert actual[asn] == pytest.approx(value, rel=1e-9), (
+                f"figure5 {series!r} monitor {asn} diverged from the "
+                f"fixture; if intentional, regenerate: {REGEN}"
+            )

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Regenerate the golden-regression fixtures under ``tests/fixtures/``.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tools/regen_fixtures.py
+
+The fixtures pin the *numeric outputs* of the figure 5 and figure 6
+pipelines at the deterministic ``test`` scale. Run this only when an
+intentional behavior change shifts the numbers; commit the regenerated
+files together with the change that explains them. The diff test
+(``tests/test_golden_regression.py``) prints this command when it fails.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.config import TEST_SCALE  # noqa: E402
+from repro.experiments.figure5 import run_figure5  # noqa: E402
+from repro.experiments.figure6 import run_figure6  # noqa: E402
+
+FIXTURES = REPO_ROOT / "tests" / "fixtures"
+
+
+def figure5_fixture() -> dict:
+    result = run_figure5(TEST_SCALE)
+    return {
+        "scale": result.scale_name,
+        # JSON keys are strings; the diff test normalizes the same way.
+        "monthly_bytes": {
+            series: {str(asn): value for asn, value in sorted(per.items())}
+            for series, per in sorted(result.comparison.monthly_bytes.items())
+        },
+    }
+
+
+def figure6_fixture() -> dict:
+    result = run_figure6(TEST_SCALE)
+    return {
+        "scale": result.scale_name,
+        "pairs": [list(pair) for pair in result.pairs],
+        "values": {
+            series: list(values)
+            for series, values in sorted(result.values.items())
+        },
+    }
+
+
+def write(name: str, payload: dict) -> None:
+    path = FIXTURES / name
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+
+
+def main() -> int:
+    FIXTURES.mkdir(parents=True, exist_ok=True)
+    write("figure5_test.json", figure5_fixture())
+    write("figure6_test.json", figure6_fixture())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
