@@ -82,6 +82,7 @@ class ScionNetwork:
         self.revocations: Optional[RevocationService] = None
         self.now = 0.0
         self._ran = False
+        self._router_table = None
 
     # ------------------------------------------------------------- control
 
@@ -313,6 +314,15 @@ class ScionNetwork:
 
     # ----------------------------------------------------------- data plane
 
+    @property
+    def router_table(self) -> "RouterTable":
+        """The shared per-AS router table (forwarding keys derived once)."""
+        from ..dataplane.router import RouterTable
+
+        if self._router_table is None:
+            self._router_table = RouterTable(self.topology)
+        return self._router_table
+
     def send_packet(
         self,
         src: int,
@@ -354,7 +364,9 @@ class ScionNetwork:
             path=forwarding,
             payload_bytes=payload_bytes,
         )
-        return deliver(self.topology, packet, now=when)
+        return deliver(
+            self.topology, packet, now=when, routers=self.router_table
+        )
 
     # ------------------------------------------------------------ failures
 
@@ -363,6 +375,29 @@ class ScionNetwork:
         self._require_ran()
         assert self.revocations is not None
         self.revocations.revoke_link(link_id, self.now)
+
+    def recover_link(self, link_id: int) -> None:
+        """Undo a link failure: clear the revocation and restore the
+        segments the revocation dropped from the core path servers.
+
+        Core segments are re-derived from the (unchanged) core beaconing
+        run; down-segments are re-registered from the intra-ISD beacon
+        stores — the periodic re-registration round the paper relies on
+        for recovery (§4.1).
+        """
+        self._require_ran()
+        assert self.revocations is not None and self.core_sim is not None
+        self.revocations.clear(link_id)
+        for asn, server in self.core_servers.items():
+            for origin in self.core_sim.originator_asns():
+                if origin == asn:
+                    continue
+                for pcb in self.core_sim.paths_at(asn, origin):
+                    segment = PathSegment.from_pcb(
+                        pcb, SegmentType.CORE
+                    ).reversed()
+                    server.store_core_segment(segment)
+        self._register_segments()
 
     def usable_paths(self, src: int, dst: int) -> List["EndToEndPath"]:
         """Paths not crossing any revoked link (post-SCMP failover view)."""

@@ -17,6 +17,7 @@ server (global scope), caching the result.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -33,26 +34,43 @@ __all__ = ["SegmentCache", "CorePathServer", "LocalPathServer"]
 
 
 class SegmentCache:
-    """A TTL cache of segment query results, keyed by destination AS (or
-    any hashable query key).
+    """A bounded TTL+LRU cache of segment query results, keyed by
+    destination AS (or any hashable query key).
 
     Entries expire at ``min(cache deadline, earliest segment expiry)`` so a
-    stale path is never served past its validity.
+    stale path is never served past its validity. The cache holds at most
+    ``max_entries`` keys: inserting beyond the cap first sweeps expired
+    entries, then evicts in least-recently-used order, so memory stays
+    bounded under workloads with many distinct lookup keys (e.g. a traffic
+    engine resolving millions of user flows).
     """
 
-    def __init__(self, ttl: float = 3600.0) -> None:
+    def __init__(self, ttl: float = 3600.0, max_entries: int = 4096) -> None:
         if ttl <= 0:
             raise ValueError("ttl must be positive")
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
         self.ttl = ttl
-        self._entries: Dict[object, Tuple[float, List[PathSegment]]] = {}
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[object, Tuple[float, List[PathSegment]]]" = (
+            OrderedDict()
+        )
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
 
     def get(self, key, now: float) -> Optional[List[PathSegment]]:
         entry = self._entries.get(key)
-        if entry is None or entry[0] <= now:
+        if entry is None:
             self.misses += 1
             return None
+        if entry[0] <= now:
+            del self._entries[key]
+            self.expirations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
         self.hits += 1
         return list(entry[1])
 
@@ -60,10 +78,30 @@ class SegmentCache:
         deadline = now + self.ttl
         if segments:
             deadline = min(deadline, min(s.expires_at for s in segments))
+        if key not in self._entries and len(self._entries) >= self.max_entries:
+            self.sweep(now)
+            while len(self._entries) >= self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
         self._entries[key] = (deadline, list(segments))
+        self._entries.move_to_end(key)
+
+    def sweep(self, now: float) -> int:
+        """Drop every expired entry; returns how many were removed."""
+        expired = [
+            key for key, entry in self._entries.items() if entry[0] <= now
+        ]
+        for key in expired:
+            del self._entries[key]
+        self.expirations += len(expired)
+        return len(expired)
 
     def invalidate(self, key) -> None:
         self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop every entry (hit/miss counters are preserved)."""
+        self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

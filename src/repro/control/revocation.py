@@ -146,6 +146,12 @@ class RevocationService:
                 )
         return notifications
 
+    def clear(self, link_id: int) -> bool:
+        """Forget a revocation once the link has recovered (the production
+        system achieves the same by letting the revocation lifetime lapse
+        without re-announcement). Returns whether one was pending."""
+        return self._revoked.pop(link_id, None) is not None
+
     # -------------------------------------------------------------- queries
 
     def is_revoked(self, link_id: int, now: float) -> bool:

@@ -15,7 +15,7 @@ from .packet import (
     ScionPacket,
     build_forwarding_path,
 )
-from .router import BorderRouter, ForwardingError, deliver
+from .router import BorderRouter, ForwardingError, RouterTable, deliver
 from .combinator import EndToEndPath, combine_segments
 
 __all__ = [
@@ -32,6 +32,7 @@ __all__ = [
     "build_forwarding_path",
     "BorderRouter",
     "ForwardingError",
+    "RouterTable",
     "deliver",
     "EndToEndPath",
     "combine_segments",

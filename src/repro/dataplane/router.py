@@ -9,13 +9,13 @@ consistency, and hands the packet to the next AS over the egress interface.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..topology.model import Topology
 from .hopfield import forwarding_key
 from .packet import ForwardingPath, ScionPacket
 
-__all__ = ["ForwardingError", "BorderRouter", "deliver"]
+__all__ = ["ForwardingError", "BorderRouter", "RouterTable", "deliver"]
 
 
 class ForwardingError(Exception):
@@ -67,22 +67,69 @@ class BorderRouter:
         return advanced, link.other(self.asn)
 
 
+class RouterTable:
+    """Memoized :class:`BorderRouter` instances for one topology.
+
+    Constructing a router derives the AS forwarding key (a keyed hash);
+    doing that per hop per packet dominates the data-plane hot path under
+    a traffic workload. The table derives each AS's router (and key)
+    once and reuses it for every subsequent packet.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self._routers: Dict[int, BorderRouter] = {}
+
+    def router(self, asn: int) -> BorderRouter:
+        router = self._routers.get(asn)
+        if router is None:
+            router = BorderRouter(asn, self.topology)
+            self._routers[asn] = router
+        return router
+
+    def __len__(self) -> int:
+        return len(self._routers)
+
+    def deliver_packet(
+        self, packet: ScionPacket, *, now: float
+    ) -> Tuple[ScionPacket, List[int]]:
+        """Forward a packet hop by hop to its destination.
+
+        Returns the fully-forwarded packet (cursor consumed) and the
+        sequence of ASes traversed (source included). Raises
+        :class:`ForwardingError` if any router rejects the packet.
+        """
+        traversed: List[int] = []
+        current_asn = packet.path.current.asn
+        if current_asn != packet.source.asn:
+            raise ForwardingError("path does not start at the packet source")
+        while True:
+            traversed.append(current_asn)
+            packet, next_asn = self.router(current_asn).forward(
+                packet, now=now
+            )
+            if next_asn is None:
+                return packet, traversed
+            current_asn = next_asn
+
+
 def deliver(
-    topology: Topology, packet: ScionPacket, *, now: float
+    topology: Topology,
+    packet: ScionPacket,
+    *,
+    now: float,
+    routers: Optional[RouterTable] = None,
 ) -> List[int]:
     """Forward a packet hop by hop to its destination.
 
     Returns the sequence of ASes traversed (source included). Raises
-    :class:`ForwardingError` if any router rejects the packet.
+    :class:`ForwardingError` if any router rejects the packet. Pass a
+    :class:`RouterTable` to reuse per-AS routers (and their derived
+    forwarding keys) across packets.
     """
-    traversed: List[int] = []
-    current_asn = packet.path.current.asn
-    if current_asn != packet.source.asn:
-        raise ForwardingError("path does not start at the packet source")
-    while True:
-        traversed.append(current_asn)
-        router = BorderRouter(current_asn, topology)
-        packet, next_asn = router.forward(packet, now=now)
-        if next_asn is None:
-            return traversed
-        current_asn = next_asn
+    if routers is None:
+        routers = RouterTable(topology)
+    elif routers.topology is not topology:
+        raise ValueError("router table was built for a different topology")
+    _, traversed = routers.deliver_packet(packet, now=now)
+    return traversed

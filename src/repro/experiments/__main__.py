@@ -8,7 +8,9 @@ Usage::
 
 Experiments: table1, figure5, figure6 (6a+6b), figure7, figure8, figure9
 (7-9 share one run), scionlab, gridsearch, faults (fault-injection
-recovery study; see ``--fault-schedules``), all.
+recovery study; see ``--fault-schedules``), traffic (end-to-end
+data-plane workloads: goodput, latency, utilization, cache hit rates),
+all.
 
 ``--jobs N`` fans independent beaconing series out over N worker
 processes; ``--jobs 1`` (the default) runs the same code path serially and
@@ -33,6 +35,7 @@ from .figure6 import run_figure6
 from .gridsearch import run_gridsearch
 from .scionlab import run_scionlab
 from .table1 import run_table1
+from .traffic import run_traffic
 
 
 def main(argv=None) -> int:
@@ -45,7 +48,7 @@ def main(argv=None) -> int:
         choices=[
             "table1", "figure5", "figure6", "figure6a", "figure6b",
             "figure7", "figure8", "figure9", "scionlab", "gridsearch",
-            "faults", "all",
+            "faults", "traffic", "all",
         ],
     )
     parser.add_argument("--scale", default="bench")
@@ -108,12 +111,13 @@ def main(argv=None) -> int:
         "faults": lambda rt: run_faults(
             scale, num_schedules=args.fault_schedules, runtime=rt
         ).render(),
+        "traffic": lambda rt: run_traffic(scale, runtime=rt).render(),
     }
     names = list(runners) if args.experiment == "all" else [args.experiment]
     if args.experiment == "all":
         names = [
             "table1", "figure5", "figure6", "scionlab", "gridsearch",
-            "faults",
+            "faults", "traffic",
         ]
     for name in names:
         runtime = make_runtime()

@@ -150,6 +150,51 @@ class ExperimentRuntime:
             )
         return outcomes
 
+    def run_traffic(self, tasks: Sequence[Tuple[Topology, Any]]) -> List[Any]:
+        """Execute traffic runs (:class:`~repro.traffic.worker.TrafficSpec`),
+        possibly in parallel — same dispatch, shipping and ordering
+        discipline as :meth:`run_series`, so ``--jobs 1`` and ``--jobs N``
+        produce pickle-identical results."""
+        # Imported lazily: repro.traffic.worker imports this package.
+        from ..traffic.worker import TrafficTask, execute_traffic_run
+
+        prepared = []
+        for topology, spec in tasks:
+            cache_dir, topology_key = self._ship_topology(topology)
+            if cache_dir is None:
+                prepared.append(TrafficTask(spec=spec, topology=topology))
+            else:
+                prepared.append(
+                    TrafficTask(
+                        spec=spec,
+                        cache_dir=cache_dir,
+                        topology_key=topology_key,
+                    )
+                )
+        workers = min(self.jobs, len(prepared))
+        if workers <= 1:
+            outcomes = [execute_traffic_run(task) for task in prepared]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(execute_traffic_run, prepared))
+        for outcome in outcomes:
+            self.report.add_phase(
+                f"{outcome.name}:control",
+                outcome.timings.get("control", 0.0),
+                cached=outcome.cached,
+            )
+            self.report.add_phase(
+                f"{outcome.name}:run",
+                outcome.timings.get("run", 0.0),
+                cached=outcome.cached,
+                counters={
+                    "flows": outcome.result.flows_started,
+                    "packets": outcome.result.packets_forwarded,
+                    "macs": outcome.result.macs_verified,
+                },
+            )
+        return outcomes
+
     def _ship_topology(
         self, topology: Topology
     ) -> Tuple[Optional[str], Optional[str]]:

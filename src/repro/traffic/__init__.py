@@ -1,0 +1,51 @@
+"""End-to-end data-plane traffic workloads.
+
+``repro.traffic`` drives seeded user flows through the full stack — path
+lookup at the path-server hierarchy, pluggable endpoint path selection,
+hop-field-MAC-verified forwarding through border routers, SIG gateways
+for legacy ASes — and reports per-link utilization, goodput over time,
+per-flow latency and lookup-cache hit rates. See
+:mod:`repro.traffic.engine` for the pipeline description.
+"""
+
+from .engine import TrafficConfig, TrafficEngine, TrafficFaultPlan
+from .flows import Flow, FlowConfig, FlowGenerator
+from .metrics import TrafficRunResult
+from .policy import (
+    POLICY_NAMES,
+    LeastUtilizedPolicy,
+    MostDisjointPolicy,
+    PathPolicy,
+    PolicyContext,
+    ShortestLatencyPolicy,
+    get_policy,
+)
+from .worker import (
+    TrafficOutcome,
+    TrafficSpec,
+    TrafficTask,
+    execute_traffic_run,
+    select_legacy_asns,
+)
+
+__all__ = [
+    "Flow",
+    "FlowConfig",
+    "FlowGenerator",
+    "TrafficConfig",
+    "TrafficEngine",
+    "TrafficFaultPlan",
+    "TrafficRunResult",
+    "PathPolicy",
+    "PolicyContext",
+    "ShortestLatencyPolicy",
+    "MostDisjointPolicy",
+    "LeastUtilizedPolicy",
+    "POLICY_NAMES",
+    "get_policy",
+    "TrafficSpec",
+    "TrafficTask",
+    "TrafficOutcome",
+    "select_legacy_asns",
+    "execute_traffic_run",
+]

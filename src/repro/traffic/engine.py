@@ -1,0 +1,385 @@
+"""The end-to-end data-plane traffic engine.
+
+Drives a user flow workload through the whole stack, exactly the way the
+paper's deployed system would serve it:
+
+1. **path lookup** — every flow resolves its destination through the
+   path-server hierarchy (:class:`~repro.control.network.ScionNetwork.
+   lookup_paths`), exercising the :class:`~repro.control.path_server.
+   SegmentCache` TTL+LRU caches and, after revocations, their
+   invalidation;
+2. **path selection** — a pluggable endpoint policy
+   (:mod:`repro.traffic.policy`) picks one of the candidate end-to-end
+   paths;
+3. **forwarding** — the flow's packets are materialized as hop-field
+   packets and forwarded hop by hop through the shared
+   :class:`~repro.dataplane.router.RouterTable`; every hop verifies the
+   chained hop-field MAC (PCFS, §4.1 Mechanism 4);
+4. **gateways** — flows whose endpoint AS is a legacy-IP deployment
+   (§3.4) enter/leave the SCION network through a
+   :class:`~repro.deployment.sig.ScionIPGateway`, counted per packet;
+5. **faults** — an optional :class:`TrafficFaultPlan` fails the hottest
+   links mid-run: the control plane revokes (§4.1), flows discover the
+   failure on their next send (the SCMP model), drop that flow's bytes,
+   invalidate their lookup caches and re-resolve — producing the goodput
+   dip-and-recovery the paper's robustness story predicts.
+
+Everything is deterministic given (network, workload config, fault plan):
+flows come from per-tick seeded RNGs, policies break ties on path
+identity, and fault targets are picked from accumulated byte counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..control.network import ScionNetwork
+from ..dataplane.combinator import EndToEndPath
+from ..dataplane.packet import HostAddress, ScionPacket, build_forwarding_path
+from ..dataplane.router import ForwardingError, RouterTable
+from ..deployment.sig import ASMap, IPPacket, ScionIPGateway
+from ..topology.latency import LatencyModel
+from .flows import Flow, FlowGenerator
+from .metrics import TrafficRunResult
+from .policy import PolicyContext, get_policy
+
+__all__ = ["TrafficConfig", "TrafficFaultPlan", "TrafficEngine"]
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Data-plane parameters of a traffic run."""
+
+    #: Wall-clock seconds one tick represents (sizing utilization).
+    tick_seconds: float = 1.0
+    #: Uniform inter-domain link capacity in bits/second.
+    link_capacity_bps: float = 400e6
+    #: Queueing sensitivity: latency grows by this factor times the
+    #: bottleneck link's utilization (previous-tick observation).
+    queueing_factor: float = 2.0
+    #: Path-selection policy name (see :mod:`repro.traffic.policy`).
+    policy: str = "shortest-latency"
+    #: Seed of the per-link latency model.
+    latency_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tick_seconds <= 0 or self.link_capacity_bps <= 0:
+            raise ValueError("tick_seconds and link_capacity_bps must be positive")
+        if self.queueing_factor < 0:
+            raise ValueError("queueing_factor must be non-negative")
+
+    @property
+    def capacity_bytes_per_tick(self) -> float:
+        return self.link_capacity_bps * self.tick_seconds / 8.0
+
+
+@dataclass(frozen=True)
+class TrafficFaultPlan:
+    """Fail the ``num_links`` hottest links mid-run, then recover them."""
+
+    fail_tick: int
+    recover_tick: int
+    num_links: int = 1
+
+    def __post_init__(self) -> None:
+        if self.fail_tick < 1:
+            raise ValueError(
+                "fail_tick must be >= 1 (the hottest link is picked from "
+                "observed traffic)"
+            )
+        if self.recover_tick <= self.fail_tick:
+            raise ValueError("recover_tick must come after fail_tick")
+        if self.num_links < 1:
+            raise ValueError("num_links must be positive")
+
+
+class TrafficEngine:
+    """Serves one flow workload over a ran :class:`ScionNetwork`."""
+
+    def __init__(
+        self,
+        network: ScionNetwork,
+        generator: FlowGenerator,
+        config: TrafficConfig,
+        *,
+        legacy_asns: Tuple[int, ...] = (),
+        name: str = "traffic",
+    ) -> None:
+        self.network = network
+        self.topology = network.topology
+        self.generator = generator
+        self.config = config
+        self.name = name
+        self.routers = network.router_table
+        self.latency = LatencyModel(self.topology, seed=config.latency_seed)
+        self.policy = get_policy(config.policy)
+        unknown = set(legacy_asns) - set(generator.endpoints)
+        if unknown:
+            raise ValueError(
+                f"legacy ASes {sorted(unknown)} are not workload endpoints"
+            )
+        self.legacy_asns: Tuple[int, ...] = tuple(sorted(legacy_asns))
+
+        # Endpoint IP plan: endpoint i owns 10.(i>>8).(i&255).0/24. Every
+        # endpoint gets an ASMap entry (so SIG encapsulation can route to
+        # any destination); only legacy ASes get a gateway.
+        self._ip_index = {
+            asn: index for index, asn in enumerate(generator.endpoints)
+        }
+        self._asmap = ASMap()
+        for asn, index in sorted(self._ip_index.items()):
+            self._asmap.add(
+                f"10.{index >> 8}.{index & 255}.0/24",
+                self.topology.as_node(asn).isd or 0,
+                asn,
+            )
+        self._sigs: Dict[int, ScionIPGateway] = {
+            asn: ScionIPGateway(
+                self.topology.as_node(asn).isd or 0,
+                asn,
+                self._asmap,
+                local_ip=self._host_ip(asn, host=1),
+            )
+            for asn in self.legacy_asns
+        }
+
+        # Mutable run state.
+        self._failed_links: Set[int] = set()
+        self._pair_history: Dict[Tuple[int, int], FrozenSet[int]] = {}
+        self._tick_link_bytes: Dict[int, int] = {}
+        self._prev_tick_link_bytes: Dict[int, int] = {}
+        self._ctx = PolicyContext(
+            self.latency, self._prev_utilization, self._pair_history
+        )
+
+    # ------------------------------------------------------------ plumbing
+
+    def _host_ip(self, asn: int, *, host: int = 10) -> str:
+        index = self._ip_index[asn]
+        return f"10.{index >> 8}.{index & 255}.{host}"
+
+    def _prev_utilization(self, link_id: int) -> float:
+        return (
+            self._prev_tick_link_bytes.get(link_id, 0)
+            / self.config.capacity_bytes_per_tick
+        )
+
+    def _count_link_bytes(self, path: EndToEndPath, wire_bytes: int) -> None:
+        for link_id in path.link_ids:
+            self._tick_link_bytes[link_id] = (
+                self._tick_link_bytes.get(link_id, 0) + wire_bytes
+            )
+
+    def _cache_counters(self) -> Tuple[int, int]:
+        hits = misses = 0
+        for server in self.network.local_servers.values():
+            for cache in (server.down_cache, server.core_cache):
+                hits += cache.hits
+                misses += cache.misses
+        for server in self.network.core_servers.values():
+            hits += server.remote_cache.hits
+            misses += server.remote_cache.misses
+        return hits, misses
+
+    # -------------------------------------------------------------- faults
+
+    def _hottest_links(self, count: int, cumulative: Dict[int, int]) -> List[int]:
+        """The ``count`` links carrying the most bytes so far (ties and the
+        cold-start case fall back to lowest link id)."""
+        ranked = sorted(
+            cumulative, key=lambda link_id: (-cumulative[link_id], link_id)
+        )
+        chosen = ranked[:count]
+        if len(chosen) < count:
+            for link in sorted(
+                link.link_id for link in self.topology.links()
+            ):
+                if link not in chosen:
+                    chosen.append(link)
+                if len(chosen) == count:
+                    break
+        return chosen
+
+    def _apply_fault_plan(
+        self,
+        tick: int,
+        plan: Optional[TrafficFaultPlan],
+        result: TrafficRunResult,
+    ) -> None:
+        if plan is None:
+            return
+        if tick == plan.fail_tick:
+            targets = self._hottest_links(plan.num_links, result.link_bytes)
+            for link_id in targets:
+                self.network.fail_link(link_id)
+                self._failed_links.add(link_id)
+            result.fail_tick = tick
+            result.failed_links = tuple(sorted(self._failed_links))
+        if tick == plan.recover_tick:
+            for link_id in sorted(self._failed_links):
+                self.network.recover_link(link_id)
+            self._failed_links.clear()
+            # Revocation lifetime lapses: endpoints refetch, so the stale
+            # (failure-era) entries leave the lookup caches.
+            for server in self.network.local_servers.values():
+                server.down_cache.clear()
+                server.core_cache.clear()
+            for server in self.network.core_servers.values():
+                server.remote_cache.clear()
+            result.recover_tick = tick
+
+    def _invalidate_lookup_state(self, src: int, dst: int) -> None:
+        """SCMP reaction: the endpoint drops its cached resolution and the
+        servers drop the entries that produced the dead path."""
+        local = self.network.local_servers.get(src)
+        if local is not None:
+            local.down_cache.invalidate(dst)
+            local.core_cache.clear()
+            local.core_server.remote_cache.invalidate(dst)
+
+    # ----------------------------------------------------------------- run
+
+    def run(
+        self, fault_plan: Optional[TrafficFaultPlan] = None
+    ) -> TrafficRunResult:
+        config = self.generator.config
+        if fault_plan is not None and fault_plan.recover_tick >= config.num_ticks:
+            raise ValueError("fault plan must recover within the workload")
+        result = TrafficRunResult(
+            name=self.name,
+            ticks=config.num_ticks,
+            tick_seconds=self.config.tick_seconds,
+            link_capacity_bps=self.config.link_capacity_bps,
+            legacy_asns=self.legacy_asns,
+        )
+        hits0, misses0 = self._cache_counters()
+        for tick in range(config.num_ticks):
+            result.offered_bytes.append(0)
+            result.delivered_bytes.append(0)
+            result.lost_bytes.append(0)
+            self._apply_fault_plan(tick, fault_plan, result)
+            for flow in self.generator.flows_for_tick(tick):
+                self._serve_flow(flow, tick, result)
+            # Roll tick-level link accounting into the run totals.
+            for link_id, count in self._tick_link_bytes.items():
+                result.link_bytes[link_id] = (
+                    result.link_bytes.get(link_id, 0) + count
+                )
+                if count > result.link_peak_bytes.get(link_id, 0):
+                    result.link_peak_bytes[link_id] = count
+            self._prev_tick_link_bytes = self._tick_link_bytes
+            self._tick_link_bytes = {}
+        hits1, misses1 = self._cache_counters()
+        result.cache_hits = hits1 - hits0
+        result.cache_misses = misses1 - misses0
+        for sig in self._sigs.values():
+            result.sig_encapsulated += sig.encapsulated
+            result.sig_decapsulated += sig.decapsulated
+        return result
+
+    # ------------------------------------------------------------ per flow
+
+    def _serve_flow(
+        self, flow: Flow, tick: int, result: TrafficRunResult
+    ) -> None:
+        result.flows_started += 1
+        result.offered_bytes[tick] += flow.size_bytes
+        now = self.network.now
+
+        candidates = self.network.lookup_paths(flow.src, flow.dst, now=now)
+        alive = [
+            path
+            for path in candidates
+            if not any(
+                link_id in self._failed_links for link_id in path.link_ids
+            )
+        ]
+        if candidates and not alive:
+            # Data-plane failure discovery: the first packet hits the
+            # revoked link, an SCMP message comes back, the endpoint
+            # invalidates and will re-resolve on its next flow.
+            result.scmp_events += 1
+            result.re_lookups += 1
+            self._invalidate_lookup_state(flow.src, flow.dst)
+        if not alive:
+            result.flows_failed += 1
+            result.lost_bytes[tick] += flow.size_bytes
+            return
+
+        path = self.policy.select(flow, alive, self._ctx)
+        pair = (flow.src, flow.dst)
+        self._pair_history[pair] = self._pair_history.get(
+            pair, frozenset()
+        ) | frozenset(path.link_ids)
+
+        forwarding = build_forwarding_path(
+            self.topology,
+            path.asns,
+            path.link_ids,
+            timestamp=now,
+            expiry=path.expires_at,
+        )
+        src_sig = self._sigs.get(flow.src)
+        dst_sig = self._sigs.get(flow.dst)
+        src_ip = self._host_ip(flow.src)
+        dst_ip = self._host_ip(flow.dst)
+        delivered_packets = 0
+        for _ in range(flow.num_packets):
+            if src_sig is not None:
+                # Legacy source: the SIG encapsulates the IP packet and
+                # injects it into the SCION data plane (§3.4).
+                packet = src_sig.encapsulate(
+                    IPPacket(
+                        src_ip=src_ip,
+                        dst_ip=dst_ip,
+                        payload_bytes=flow.payload_bytes,
+                    ),
+                    forwarding,
+                )
+                if packet is None:
+                    break
+            else:
+                packet = ScionPacket(
+                    source=HostAddress(
+                        self.topology.as_node(flow.src).isd or 0,
+                        flow.src,
+                        local=src_ip,
+                    ),
+                    destination=HostAddress(
+                        self.topology.as_node(flow.dst).isd or 0,
+                        flow.dst,
+                        local=dst_ip,
+                    ),
+                    path=forwarding,
+                    payload_bytes=flow.payload_bytes,
+                )
+            try:
+                final, traversed = self.routers.deliver_packet(packet, now=now)
+            except ForwardingError:
+                break
+            result.packets_forwarded += 1
+            result.macs_verified += len(traversed)
+            self._count_link_bytes(path, packet.wire_bytes())
+            if dst_sig is not None:
+                # Legacy destination: the far-side SIG decapsulates back
+                # to the inner IP packet.
+                dst_sig.decapsulate(final)
+            delivered_packets += 1
+
+        if delivered_packets == flow.num_packets:
+            result.flows_completed += 1
+            result.delivered_bytes[tick] += flow.size_bytes
+            bottleneck = max(
+                (self._prev_utilization(link_id) for link_id in path.link_ids),
+                default=0.0,
+            )
+            propagation = self.latency.path_latency(path.link_ids)
+            result.flow_latencies.append(
+                propagation * (1.0 + self.config.queueing_factor * bottleneck)
+            )
+        else:
+            lost = flow.num_packets - delivered_packets
+            result.packets_lost += lost
+            result.flows_failed += 1
+            result.lost_bytes[tick] += flow.size_bytes

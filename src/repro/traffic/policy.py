@@ -1,0 +1,148 @@
+"""Pluggable endpoint path-selection policies.
+
+SCION endpoints choose among the end-to-end paths the lookup returned;
+*which* path they pick shapes data-plane outcomes far more than the
+control plane does. Following the axiomatic treatment of multipath
+selection strategies (Baumeister & Keshvadi), policies are small
+stateless strategy objects over the candidate set plus an observation
+context — so the same workload can be replayed under different endpoint
+behaviors and compared on goodput/latency/utilization rather than on
+control-plane metrics alone.
+
+Every policy is deterministic: ties break on the path's AS sequence, so a
+given (candidates, context) always selects the same path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Sequence, Tuple
+
+from ..dataplane.combinator import EndToEndPath
+from ..topology.latency import LatencyModel
+from .flows import Flow
+
+__all__ = [
+    "PolicyContext",
+    "PathPolicy",
+    "ShortestLatencyPolicy",
+    "MostDisjointPolicy",
+    "LeastUtilizedPolicy",
+    "POLICY_NAMES",
+    "get_policy",
+]
+
+
+class PolicyContext:
+    """What a policy may observe when ranking candidates."""
+
+    def __init__(
+        self,
+        latency: LatencyModel,
+        link_utilization: Callable[[int], float],
+        pair_history: Dict[Tuple[int, int], FrozenSet[int]],
+    ) -> None:
+        #: Per-link propagation latency model.
+        self.latency = latency
+        #: Current utilization of a link in [0, inf) (previous-tick view).
+        self.link_utilization = link_utilization
+        #: Links previously used by each (src, dst) pair.
+        self.pair_history = pair_history
+
+    def path_latency(self, path: EndToEndPath) -> float:
+        return self.latency.path_latency(path.link_ids)
+
+
+class PathPolicy:
+    """Base strategy: rank candidates by a per-path key, lowest wins."""
+
+    name = "abstract"
+
+    def select(
+        self, flow: Flow, candidates: Sequence[EndToEndPath], ctx: PolicyContext
+    ) -> EndToEndPath:
+        if not candidates:
+            raise ValueError("no candidate paths to select from")
+        return min(candidates, key=lambda path: self.rank(flow, path, ctx))
+
+    def rank(self, flow: Flow, path: EndToEndPath, ctx: PolicyContext):
+        raise NotImplementedError
+
+
+class ShortestLatencyPolicy(PathPolicy):
+    """Minimize end-to-end propagation latency (§4.2's latency criterion)."""
+
+    name = "shortest-latency"
+
+    def rank(self, flow: Flow, path: EndToEndPath, ctx: PolicyContext):
+        return (ctx.path_latency(path), path.num_links, path.asns, path.link_ids)
+
+
+class MostDisjointPolicy(PathPolicy):
+    """Minimize link overlap with the paths this pair used before.
+
+    Spreads a pair's consecutive flows over disjoint infrastructure, the
+    failure-resilience-maximizing strategy of the axiomatic analysis: a
+    single link failure then hits the fewest of the pair's flows.
+    """
+
+    name = "most-disjoint"
+
+    def rank(self, flow: Flow, path: EndToEndPath, ctx: PolicyContext):
+        used = ctx.pair_history.get((flow.src, flow.dst), frozenset())
+        overlap = sum(1 for link_id in path.link_ids if link_id in used)
+        return (
+            overlap,
+            ctx.path_latency(path),
+            path.num_links,
+            path.asns,
+            path.link_ids,
+        )
+
+
+class LeastUtilizedPolicy(PathPolicy):
+    """Minimize the bottleneck (most utilized) link along the path.
+
+    The load-aware strategy: endpoints observe utilization (in practice
+    via measurements or congestion signals) and route around hot links.
+    """
+
+    name = "least-utilized"
+
+    def rank(self, flow: Flow, path: EndToEndPath, ctx: PolicyContext):
+        bottleneck = max(
+            (ctx.link_utilization(link_id) for link_id in path.link_ids),
+            default=0.0,
+        )
+        return (
+            bottleneck,
+            ctx.path_latency(path),
+            path.num_links,
+            path.asns,
+            path.link_ids,
+        )
+
+
+_POLICIES: Dict[str, PathPolicy] = {
+    policy.name: policy
+    for policy in (
+        ShortestLatencyPolicy(),
+        MostDisjointPolicy(),
+        LeastUtilizedPolicy(),
+    )
+}
+
+#: Registry order: latency first (the default), then the alternatives.
+POLICY_NAMES: Tuple[str, ...] = (
+    "shortest-latency",
+    "most-disjoint",
+    "least-utilized",
+)
+
+
+def get_policy(name: str) -> PathPolicy:
+    try:
+        return _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown path policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None

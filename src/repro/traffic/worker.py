@@ -1,0 +1,159 @@
+"""Process-pool task bodies for traffic runs.
+
+Mirrors :mod:`repro.faults.runner`: a run travels as plain picklable data
+(:class:`TrafficSpec` / :class:`TrafficTask`), the task body is a
+module-level function, and results come back as :class:`TrafficOutcome`.
+The cached artifact is the :class:`~repro.traffic.metrics.TrafficRunResult`
+(pure primitives), so a cache hit is byte-identical to the run that
+produced it, and ``--jobs 1`` versus ``--jobs N`` compare equal by pickle.
+
+Unlike beaconing workers there is deliberately **no** per-process network
+memo: a :class:`~repro.control.network.ScionNetwork` carries warm lookup
+caches, so sharing one between tasks would make a task's cache-hit counts
+depend on which tasks ran in its process before it — breaking the jobs
+determinism contract. Every task builds its network fresh.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..control.network import ScionNetwork
+from ..core.scoring import DiversityParams
+from ..runtime.cache import ExperimentCache, stable_key, topology_fingerprint
+from ..runtime.worker import _load_topology
+from ..simulation.beaconing import BeaconingConfig
+from ..topology.model import Topology
+from .engine import TrafficConfig, TrafficEngine, TrafficFaultPlan
+from .flows import FlowConfig, FlowGenerator
+from .metrics import TrafficRunResult
+
+__all__ = [
+    "TrafficSpec",
+    "TrafficTask",
+    "TrafficOutcome",
+    "select_legacy_asns",
+    "execute_traffic_run",
+]
+
+
+def select_legacy_asns(
+    endpoints: List[int], fraction: float
+) -> Tuple[int, ...]:
+    """An evenly spaced, deterministic subset of ``endpoints`` designated
+    legacy-IP (SIG-fronted) ASes — §3.4's incremental-deployment mix."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("legacy fraction must be within [0, 1]")
+    ordered = sorted(endpoints)
+    count = int(len(ordered) * fraction)
+    if count == 0:
+        return ()
+    return tuple(ordered[i * len(ordered) // count] for i in range(count))
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """One traffic run: a control-plane setup plus a flow workload."""
+
+    name: str
+    #: ``"baseline"`` or ``"diversity"`` — which beaconing algorithm built
+    #: the paths the workload rides on.
+    algorithm: str
+    flow_config: FlowConfig
+    traffic_config: TrafficConfig
+    core_config: BeaconingConfig
+    intra_config: BeaconingConfig
+    registration_limit: int = 5
+    params: Optional[DiversityParams] = None
+    #: Fraction of endpoint ASes fronted by a SCION-IP gateway.
+    legacy_fraction: float = 0.0
+    fault_plan: Optional[TrafficFaultPlan] = None
+    seed: int = 0
+
+    def result_key(self, topology_fp: str) -> str:
+        """Cache key of this run's result (spec is pure primitives)."""
+        return stable_key("traffic-run", topology_fp, self)
+
+
+@dataclass(frozen=True)
+class TrafficTask:
+    """A :class:`TrafficSpec` plus how the worker obtains its topology.
+
+    Field names match :class:`~repro.runtime.worker.SeriesTask` so the
+    worker-side topology loader (inline value, or cache dir + key with a
+    per-process memo) is shared between task kinds.
+    """
+
+    spec: TrafficSpec
+    topology: Optional[Topology] = None
+    cache_dir: Optional[str] = None
+    topology_key: Optional[str] = None
+
+
+@dataclass
+class TrafficOutcome:
+    """One traffic run's report; ``timings`` is wall-clock noise and is
+    kept out of the deterministic ``result``."""
+
+    name: str
+    result: TrafficRunResult
+    cached: bool = False
+    timings: Dict[str, float] = field(default_factory=dict)
+
+
+def execute_traffic_run(task: TrafficTask) -> TrafficOutcome:
+    """Run one traffic workload; the process-pool task body."""
+    spec = task.spec
+    random.seed(spec.seed)
+    timings: Dict[str, float] = {}
+
+    start = time.perf_counter()
+    topology = _load_topology(task)
+    cache = ExperimentCache(task.cache_dir) if task.cache_dir else None
+    result_key = (
+        spec.result_key(topology_fingerprint(topology)) if cache else None
+    )
+    timings["setup"] = time.perf_counter() - start
+
+    if cache is not None and result_key is not None:
+        hit, cached_result = cache.load(result_key)
+        if hit:
+            timings["control"] = 0.0
+            timings["run"] = 0.0
+            return TrafficOutcome(
+                name=spec.name,
+                result=cached_result,
+                cached=True,
+                timings=timings,
+            )
+
+    start = time.perf_counter()
+    network = ScionNetwork(
+        topology,
+        algorithm=spec.algorithm,
+        params=spec.params,
+        core_config=spec.core_config,
+        intra_config=spec.intra_config,
+        registration_limit=spec.registration_limit,
+    ).run()
+    timings["control"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    endpoints = sorted(topology.non_core_asns())
+    generator = FlowGenerator(endpoints, spec.flow_config)
+    engine = TrafficEngine(
+        network,
+        generator,
+        spec.traffic_config,
+        legacy_asns=select_legacy_asns(endpoints, spec.legacy_fraction),
+        name=spec.name,
+    )
+    result = engine.run(spec.fault_plan)
+    timings["run"] = time.perf_counter() - start
+
+    if cache is not None and result_key is not None:
+        cache.store(result_key, result)
+    return TrafficOutcome(name=spec.name, result=result, timings=timings)

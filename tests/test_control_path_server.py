@@ -61,6 +61,60 @@ class TestSegmentCache:
         with pytest.raises(ValueError):
             SegmentCache(ttl=0.0)
 
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SegmentCache(max_entries=0)
+
+    def test_capacity_evicts_least_recently_used(self):
+        cache = SegmentCache(ttl=1000.0, max_entries=2)
+        cache.put(1, [down_segment()], now=0.0)
+        cache.put(2, [down_segment()], now=1.0)
+        # Touch 1 so 2 becomes the LRU entry, then overflow.
+        assert cache.get(1, now=2.0) is not None
+        cache.put(3, [down_segment()], now=3.0)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get(2, now=4.0) is None
+        assert cache.get(1, now=4.0) is not None
+        assert cache.get(3, now=4.0) is not None
+
+    def test_overflow_sweeps_expired_before_evicting(self):
+        cache = SegmentCache(ttl=100.0, max_entries=2)
+        cache.put(1, [down_segment()], now=0.0)
+        cache.put(2, [down_segment()], now=150.0)
+        # Entry 1 is already expired at the overflow point: the sweep
+        # reclaims it and the live entry 2 survives.
+        cache.put(3, [down_segment()], now=160.0)
+        assert cache.expirations == 1
+        assert cache.evictions == 0
+        assert cache.get(2, now=170.0) is not None
+        assert cache.get(3, now=170.0) is not None
+
+    def test_refresh_marks_entry_recently_used(self):
+        cache = SegmentCache(ttl=1000.0, max_entries=2)
+        cache.put(1, [down_segment()], now=0.0)
+        cache.put(2, [down_segment()], now=1.0)
+        cache.put(1, [down_segment()], now=2.0)  # refresh, not insert
+        cache.put(3, [down_segment()], now=3.0)  # evicts 2, the LRU
+        assert cache.get(1, now=4.0) is not None
+        assert cache.get(2, now=4.0) is None
+
+    def test_sweep_counts_expired_entries(self):
+        cache = SegmentCache(ttl=100.0)
+        cache.put(1, [down_segment()], now=0.0)
+        cache.put(2, [down_segment()], now=90.0)
+        assert cache.sweep(now=120.0) == 1
+        assert cache.expirations == 1
+        assert len(cache) == 1
+
+    def test_clear_preserves_counters(self):
+        cache = SegmentCache()
+        cache.put(1, [down_segment()], now=0.0)
+        cache.get(1, now=1.0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
 
 class TestCorePathServer:
     def test_registration_and_lookup(self):

@@ -8,6 +8,7 @@ from repro.dataplane import (
     ForwardingPath,
     HostAddress,
     MAC_BYTES,
+    RouterTable,
     ScionPacket,
     build_forwarding_path,
     compute_mac,
@@ -173,3 +174,40 @@ class TestBorderRouter:
         packet = packet_1_to_3(line)
         assert packet.header_bytes() == 24 + 8 + (8 + 12 * 3)
         assert packet.wire_bytes() == packet.header_bytes() + 100
+
+
+class TestRouterTable:
+    def test_matches_transient_delivery(self, line):
+        table = RouterTable(line)
+        packet = packet_1_to_3(line)
+        final, traversed = table.deliver_packet(packet, now=1.0)
+        assert traversed == deliver(line, packet, now=1.0) == [1, 2, 3]
+        assert final.path.at_destination
+
+    def test_memoizes_routers(self, line):
+        table = RouterTable(line)
+        assert table.router(1) is table.router(1)
+        assert len(table) == 1
+        table.deliver_packet(packet_1_to_3(line), now=1.0)
+        assert len(table) == 3
+
+    def test_deliver_accepts_shared_table(self, line):
+        table = RouterTable(line)
+        packet = packet_1_to_3(line)
+        assert deliver(line, packet, now=1.0, routers=table) == [1, 2, 3]
+        assert len(table) == 3
+
+    def test_rejects_foreign_topology(self, line):
+        other = Topology("other")
+        for asn in (1, 2, 3):
+            other.add_as(asn, isd=1, is_core=True)
+        other.add_link(1, 2, Relationship.CORE)
+        other.add_link(2, 3, Relationship.CORE)
+        with pytest.raises(ValueError, match="topology"):
+            deliver(line, packet_1_to_3(line), now=1.0, routers=RouterTable(other))
+
+    def test_still_verifies_macs(self, line):
+        table = RouterTable(line)
+        packet = packet_1_to_3(line, expiry=10.0)
+        with pytest.raises(ForwardingError, match="expired"):
+            table.deliver_packet(packet, now=100.0)

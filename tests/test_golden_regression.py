@@ -21,6 +21,7 @@ import pytest
 from repro.experiments.config import TEST_SCALE
 from repro.experiments.figure5 import run_figure5
 from repro.experiments.figure6 import run_figure6
+from repro.experiments.traffic import run_traffic
 
 FIXTURES = Path(__file__).parent / "fixtures"
 REGEN = "PYTHONPATH=src python tools/regen_fixtures.py"
@@ -43,6 +44,35 @@ def test_figure6_matches_fixture():
         # Resilience values are integers: exact comparison.
         assert list(result.values[series]) == expected, (
             f"figure6 series {series!r} diverged from the fixture; "
+            f"if intentional, regenerate: {REGEN}"
+        )
+
+
+def test_traffic_matches_fixture():
+    fixture = load("traffic_test.json")
+    result = run_traffic(TEST_SCALE, policies=("shortest-latency",))
+    assert sorted(result.results) == sorted(fixture["series"])
+    for name, expected in fixture["series"].items():
+        run = result.results[name]
+        # Byte/packet/cache counters are integers: exact comparison.
+        for key in (
+            "delivered_bytes", "lost_bytes", "flows_completed",
+            "flows_failed", "packets_forwarded", "packets_lost",
+            "macs_verified", "cache_hits", "cache_misses", "scmp_events",
+            "sig_encapsulated", "sig_decapsulated",
+        ):
+            value = getattr(run, key)
+            value = list(value) if isinstance(value, list) else value
+            assert value == expected[key], (
+                f"traffic series {name!r} {key} diverged from the fixture; "
+                f"if intentional, regenerate: {REGEN}"
+            )
+        assert list(run.failed_links) == expected["failed_links"]
+        assert sum(run.link_bytes.values()) == expected["total_link_bytes"]
+        assert sum(run.flow_latencies) == pytest.approx(
+            expected["latency_sum"], rel=1e-9
+        ), (
+            f"traffic series {name!r} latencies diverged from the fixture; "
             f"if intentional, regenerate: {REGEN}"
         )
 

@@ -1,0 +1,412 @@
+"""Tests for the end-to-end traffic workload engine (repro.traffic)."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.control.network import ScionNetwork
+from repro.dataplane import (
+    ForwardingError,
+    ForwardingPath,
+    HostAddress,
+    ScionPacket,
+    build_forwarding_path,
+)
+from repro.deployment.sig import IPPacket
+from repro.experiments.common import build_full_stack_topology
+from repro.experiments.config import TEST_SCALE
+from repro.topology.latency import LatencyModel
+from repro.traffic import (
+    FlowConfig,
+    FlowGenerator,
+    PolicyContext,
+    TrafficConfig,
+    TrafficEngine,
+    TrafficFaultPlan,
+    get_policy,
+    select_legacy_asns,
+)
+
+FLOWS = FlowConfig(flows_per_tick=10, num_ticks=6, seed=11)
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return build_full_stack_topology(TEST_SCALE, leaves_per_core=2)
+
+
+def make_network(topology):
+    return ScionNetwork(
+        topology,
+        algorithm="diversity",
+        core_config=TEST_SCALE.core_beaconing_config(5),
+        intra_config=TEST_SCALE.intra_isd_config(5),
+    ).run()
+
+
+@pytest.fixture(scope="module")
+def network(topology):
+    """Shared warm network for read-mostly tests; tests that depend on
+    exact cache counters or failures build their own via make_network."""
+    return make_network(topology)
+
+
+def leaf_endpoints(topology):
+    return sorted(topology.non_core_asns())
+
+
+class TestFlowGenerator:
+    def test_deterministic_across_instances(self):
+        a = FlowGenerator([1, 2, 3, 4], FLOWS)
+        b = FlowGenerator([4, 3, 2, 1], FLOWS)  # order-insensitive
+        for tick in range(FLOWS.num_ticks):
+            assert a.flows_for_tick(tick) == b.flows_for_tick(tick)
+
+    def test_ticks_independent_of_call_order(self):
+        gen = FlowGenerator([1, 2, 3, 4], FLOWS)
+        late_first = gen.flows_for_tick(3)
+        gen.flows_for_tick(0)
+        assert gen.flows_for_tick(3) == late_first
+
+    def test_zipf_skew_prefers_top_ranked(self):
+        config = FlowConfig(flows_per_tick=200, num_ticks=5, seed=3)
+        gen = FlowGenerator(list(range(100, 120)), config)
+        counts = {}
+        for tick in range(config.num_ticks):
+            for flow in gen.flows_for_tick(tick):
+                counts[flow.src] = counts.get(flow.src, 0) + 1
+                counts[flow.dst] = counts.get(flow.dst, 0) + 1
+        assert counts.get(100, 0) > 4 * counts.get(119, 0)
+
+    def test_src_never_equals_dst(self):
+        gen = FlowGenerator([1, 2], FLOWS)
+        for tick in range(FLOWS.num_ticks):
+            assert all(f.src != f.dst for f in gen.flows_for_tick(tick))
+
+    def test_flow_sizes_bounded(self):
+        gen = FlowGenerator([1, 2, 3], FLOWS)
+        for flow in gen.flows_for_tick(0):
+            assert 1 <= flow.num_packets <= FLOWS.max_flow_packets
+            assert flow.size_bytes == flow.num_packets * FLOWS.payload_bytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowGenerator([1], FLOWS)
+        with pytest.raises(ValueError):
+            FlowConfig(flows_per_tick=0)
+        with pytest.raises(ValueError):
+            FlowConfig(zipf_exponent=0.0)
+        with pytest.raises(ValueError):
+            FlowConfig(mean_flow_packets=100, max_flow_packets=10)
+
+
+class TestPolicies:
+    def _context(self, network, utilization=None, history=None):
+        return PolicyContext(
+            LatencyModel(network.topology, seed=0),
+            utilization if utilization is not None else (lambda link_id: 0.0),
+            history if history is not None else {},
+        )
+
+    def _multipath_pair(self, network):
+        leaves = leaf_endpoints(network.topology)
+        for src in leaves:
+            for dst in reversed(leaves):
+                if src == dst:
+                    continue
+                paths = network.lookup_paths(src, dst)
+                if len(paths) >= 2:
+                    return src, dst, paths
+        pytest.skip("no multi-path pair at test scale")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown path policy"):
+            get_policy("hottest-potato")
+
+    def test_shortest_latency_picks_minimum(self, network):
+        src, dst, paths = self._multipath_pair(network)
+        ctx = self._context(network)
+        flow = FlowGenerator([src, dst], FLOWS).flows_for_tick(0)[0]
+        chosen = get_policy("shortest-latency").select(flow, paths, ctx)
+        assert ctx.path_latency(chosen) == min(
+            ctx.path_latency(path) for path in paths
+        )
+
+    def test_most_disjoint_avoids_history(self, network):
+        src, dst, paths = self._multipath_pair(network)
+        flow = dataclasses.replace(
+            FlowGenerator([src, dst], FLOWS).flows_for_tick(0)[0],
+            src=src,
+            dst=dst,
+        )
+        ctx = self._context(network)
+        first = get_policy("most-disjoint").select(flow, paths, ctx)
+        history = {(src, dst): frozenset(first.link_ids)}
+        second = get_policy("most-disjoint").select(
+            flow, paths, self._context(network, history=history)
+        )
+        used = history[(src, dst)]
+        overlap = lambda path: sum(1 for l in path.link_ids if l in used)
+        assert overlap(second) == min(overlap(path) for path in paths)
+
+    def test_least_utilized_routes_around_load(self, network):
+        src, dst, paths = self._multipath_pair(network)
+        flow = FlowGenerator([src, dst], FLOWS).flows_for_tick(0)[0]
+        quiet = get_policy("least-utilized").select(
+            flow, paths, self._context(network)
+        )
+        # Saturate the chosen path's links; the policy must move away.
+        hot = set(quiet.link_ids)
+        ctx = self._context(
+            network, utilization=lambda link_id: 9.0 if link_id in hot else 0.0
+        )
+        moved = get_policy("least-utilized").select(flow, paths, ctx)
+        bottleneck = lambda path: max(
+            (ctx.link_utilization(l) for l in path.link_ids), default=0.0
+        )
+        assert bottleneck(moved) == min(bottleneck(path) for path in paths)
+
+
+class TestTrafficEngine:
+    def test_end_to_end_accounting(self, topology):
+        network = make_network(topology)
+        engine = TrafficEngine(
+            network,
+            FlowGenerator(leaf_endpoints(topology), FLOWS),
+            TrafficConfig(link_capacity_bps=4e6),
+        )
+        result = engine.run()
+        assert result.flows_started == FLOWS.flows_per_tick * FLOWS.num_ticks
+        assert result.flows_started == result.flows_completed + result.flows_failed
+        for tick in range(result.ticks):
+            assert (
+                result.offered_bytes[tick]
+                == result.delivered_bytes[tick] + result.lost_bytes[tick]
+            )
+        assert result.packets_forwarded > 0
+        # Every forwarded packet crosses at least two ASes, each a MAC check.
+        assert result.macs_verified >= 2 * result.packets_forwarded
+        assert result.mean_goodput_bps() > 0
+        assert result.link_bytes and all(
+            count > 0 for count in result.link_bytes.values()
+        )
+        assert 0 < result.max_utilization() <= 1.0
+        assert result.cache_hits + result.cache_misses > 0
+        assert 0.0 < result.cache_hit_rate() < 1.0
+        assert result.flow_latencies and all(
+            latency > 0 for latency in result.flow_latencies
+        )
+        assert result.latency_percentile(0.95) >= result.latency_percentile(0.5)
+
+    def test_deterministic_across_fresh_networks(self, topology):
+        def run():
+            engine = TrafficEngine(
+                make_network(topology),
+                FlowGenerator(leaf_endpoints(topology), FLOWS),
+                TrafficConfig(link_capacity_bps=4e6),
+            )
+            return engine.run()
+
+        assert pickle.dumps(run()) == pickle.dumps(run())
+
+    def test_rejects_unknown_legacy_as(self, network):
+        with pytest.raises(ValueError, match="not workload endpoints"):
+            TrafficEngine(
+                network,
+                FlowGenerator(leaf_endpoints(network.topology), FLOWS),
+                TrafficConfig(),
+                legacy_asns=(999999,),
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrafficConfig(tick_seconds=0.0)
+        with pytest.raises(ValueError):
+            TrafficFaultPlan(fail_tick=0, recover_tick=3)
+        with pytest.raises(ValueError):
+            TrafficFaultPlan(fail_tick=3, recover_tick=3)
+
+    def test_fault_plan_must_fit_workload(self, network):
+        engine = TrafficEngine(
+            network,
+            FlowGenerator(leaf_endpoints(network.topology), FLOWS),
+            TrafficConfig(),
+        )
+        with pytest.raises(ValueError, match="recover within"):
+            engine.run(TrafficFaultPlan(fail_tick=2, recover_tick=99))
+
+
+class TestMacVerification:
+    def test_corrupted_mac_is_rejected(self, network):
+        """A packet whose hop-field MAC was tampered with must be dropped
+        by the first router that checks it."""
+        leaves = leaf_endpoints(network.topology)
+        src, dst = leaves[0], leaves[-1]
+        path = network.lookup_paths(src, dst)[0]
+        forwarding = build_forwarding_path(
+            network.topology,
+            path.asns,
+            path.link_ids,
+            timestamp=network.now,
+            expiry=path.expires_at,
+        )
+        hops = list(forwarding.hop_fields)
+        target = len(hops) // 2
+        corrupted_mac = bytes(hops[target].mac[:-1]) + bytes(
+            [hops[target].mac[-1] ^ 0xFF]
+        )
+        hops[target] = dataclasses.replace(hops[target], mac=corrupted_mac)
+        bad = ScionPacket(
+            source=HostAddress(1, src),
+            destination=HostAddress(1, dst),
+            path=ForwardingPath(
+                timestamp=forwarding.timestamp, hop_fields=tuple(hops)
+            ),
+            payload_bytes=1200,
+        )
+        with pytest.raises(ForwardingError, match="MAC"):
+            network.router_table.deliver_packet(bad, now=network.now)
+
+
+class TestSIGGateway:
+    def test_legacy_flows_traverse_gateways(self, topology):
+        """End-to-end: flows whose endpoints are legacy ASes enter/leave
+        through SIGs, and the counts match the workload exactly."""
+        network = make_network(topology)
+        endpoints = leaf_endpoints(topology)
+        legacy = select_legacy_asns(endpoints, 0.25)
+        assert legacy
+        engine = TrafficEngine(
+            network,
+            FlowGenerator(endpoints, FLOWS),
+            TrafficConfig(link_capacity_bps=4e6),
+            legacy_asns=legacy,
+        )
+        result = engine.run()
+        assert result.flows_failed == 0  # no faults: everything delivers
+        legacy_set = set(legacy)
+        expected_encapsulated = sum(
+            flow.num_packets
+            for tick in range(FLOWS.num_ticks)
+            for flow in engine.generator.flows_for_tick(tick)
+            if flow.src in legacy_set
+        )
+        expected_decapsulated = sum(
+            flow.num_packets
+            for tick in range(FLOWS.num_ticks)
+            for flow in engine.generator.flows_for_tick(tick)
+            if flow.dst in legacy_set
+        )
+        assert result.sig_encapsulated == expected_encapsulated > 0
+        assert result.sig_decapsulated == expected_decapsulated > 0
+        assert result.legacy_asns == legacy
+
+    def test_gateway_round_trip_preserves_payload(self, network):
+        """One SCION->legacy packet through the real machinery: encapsulate
+        at the source SIG, hop-field forwarding, decapsulate at the far
+        SIG, inner IP packet intact."""
+        endpoints = leaf_endpoints(network.topology)
+        legacy_src, legacy_dst = endpoints[0], endpoints[-1]
+        engine = TrafficEngine(
+            network,
+            FlowGenerator(endpoints, FLOWS),
+            TrafficConfig(),
+            legacy_asns=(legacy_src, legacy_dst),
+        )
+        path = network.lookup_paths(legacy_src, legacy_dst)[0]
+        forwarding = build_forwarding_path(
+            network.topology,
+            path.asns,
+            path.link_ids,
+            timestamp=network.now,
+            expiry=path.expires_at,
+        )
+        inner = IPPacket(
+            src_ip=engine._host_ip(legacy_src),
+            dst_ip=engine._host_ip(legacy_dst),
+            payload_bytes=700,
+        )
+        scion = engine._sigs[legacy_src].encapsulate(inner, forwarding)
+        assert scion is not None
+        assert scion.destination.asn == legacy_dst
+        final, traversed = network.router_table.deliver_packet(
+            scion, now=network.now
+        )
+        assert traversed == list(path.asns)
+        out = engine._sigs[legacy_dst].decapsulate(final)
+        assert out.src_ip == inner.src_ip
+        assert out.dst_ip == inner.dst_ip
+        assert out.total_bytes == inner.total_bytes
+
+
+class TestFaultCoupling:
+    def test_goodput_dips_and_recovers(self, topology):
+        network = make_network(topology)
+        config = FlowConfig(flows_per_tick=12, num_ticks=10, seed=7)
+        engine = TrafficEngine(
+            network,
+            FlowGenerator(leaf_endpoints(topology), config),
+            TrafficConfig(link_capacity_bps=4e6),
+        )
+        plan = TrafficFaultPlan(fail_tick=3, recover_tick=7)
+        result = engine.run(plan)
+        assert result.fail_tick == 3 and result.recover_tick == 7
+        assert result.failed_links
+        # Healthy before the fault, lossy during it, healthy again after.
+        assert all(result.lost_bytes[tick] == 0 for tick in range(3))
+        assert sum(result.lost_bytes[3:7]) > 0
+        assert all(result.lost_bytes[tick] == 0 for tick in range(7, 10))
+        assert result.scmp_events > 0
+        assert result.re_lookups > 0
+        dip = result.goodput_dip()
+        assert dip is not None and dip[1] < 1.0
+        recovered = result.recovered_goodput_fraction()
+        assert recovered is not None and recovered > 0.8
+
+
+class TestRuntimeIntegration:
+    def test_select_legacy_asns(self):
+        endpoints = list(range(100, 112))
+        assert select_legacy_asns(endpoints, 0.0) == ()
+        assert select_legacy_asns(endpoints, 1.0) == tuple(endpoints)
+        half = select_legacy_asns(endpoints, 0.5)
+        assert len(half) == 6
+        assert len(set(half)) == 6
+        assert set(half) <= set(endpoints)
+        with pytest.raises(ValueError):
+            select_legacy_asns(endpoints, 1.5)
+
+    def test_jobs_parallelism_is_invisible(self):
+        """The acceptance bar: ``--jobs 2`` is pickle-identical to
+        ``--jobs 1`` on the same (reduced) experiment."""
+        from repro.experiments.traffic import run_traffic
+        from repro.runtime import ExperimentRuntime
+
+        kwargs = dict(policies=("shortest-latency",), algorithms=("baseline",))
+        serial = run_traffic(
+            TEST_SCALE, runtime=ExperimentRuntime(jobs=1), **kwargs
+        )
+        parallel = run_traffic(
+            TEST_SCALE, runtime=ExperimentRuntime(jobs=2), **kwargs
+        )
+        assert sorted(serial.results) == sorted(parallel.results)
+        for name, result in serial.results.items():
+            assert pickle.dumps(result) == pickle.dumps(
+                parallel.results[name]
+            ), f"series {name} differs between jobs=1 and jobs=2"
+
+    def test_render_mentions_all_series(self):
+        from repro.experiments.traffic import run_traffic
+        from repro.runtime import ExperimentRuntime
+
+        result = run_traffic(
+            TEST_SCALE,
+            runtime=ExperimentRuntime(jobs=1),
+            policies=("shortest-latency",),
+            algorithms=("diversity",),
+        )
+        text = result.render()
+        assert "diversity/shortest-latency" in text
+        assert "diversity/faulted" in text
+        assert "dip" in text

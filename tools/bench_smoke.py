@@ -34,6 +34,7 @@ from repro.experiments.figure5 import run_figure5  # noqa: E402
 from repro.experiments.figure6 import run_figure6  # noqa: E402
 from repro.experiments.scionlab import run_scionlab  # noqa: E402
 from repro.experiments.table1 import run_table1  # noqa: E402
+from repro.experiments.traffic import run_traffic  # noqa: E402
 from repro.runtime import ExperimentRuntime, default_jobs  # noqa: E402
 
 EXPERIMENTS = {
@@ -41,7 +42,26 @@ EXPERIMENTS = {
     "figure5": run_figure5,
     "figure6": run_figure6,
     "scionlab": run_scionlab,  # Figures 7, 8 and 9 share this run.
+    "traffic": run_traffic,  # End-to-end data-plane workload.
 }
+
+
+def forwarding_summary(result, report) -> dict:
+    """Forwarding-throughput record for the traffic experiment: packets
+    and MAC verifications performed, and — when the runs actually executed
+    rather than being served from cache — packets per second."""
+    packets = sum(r.packets_forwarded for r in result.results.values())
+    macs = sum(r.macs_verified for r in result.results.values())
+    run_seconds = sum(
+        phase.seconds
+        for phase in report.phases
+        if phase.name.endswith(":run") and not phase.cached
+    )
+    summary = {"packets_forwarded": packets, "macs_verified": macs}
+    if run_seconds > 0:
+        summary["run_seconds"] = round(run_seconds, 3)
+        summary["packets_per_second"] = round(packets / run_seconds, 1)
+    return summary
 
 
 def run_smoke(jobs: int, cache_dir: str | None) -> dict:
@@ -58,6 +78,8 @@ def run_smoke(jobs: int, cache_dir: str | None) -> dict:
             "wall_seconds": round(wall, 3),
             "report": runtime.report.to_dict(),
         }
+        if name == "traffic":
+            entry["forwarding"] = forwarding_summary(result, runtime.report)
         if runtime.cache is not None:
             entry["cache"] = {
                 "hits": runtime.cache.hits,

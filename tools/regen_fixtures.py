@@ -24,8 +24,13 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.experiments.config import TEST_SCALE  # noqa: E402
 from repro.experiments.figure5 import run_figure5  # noqa: E402
 from repro.experiments.figure6 import run_figure6  # noqa: E402
+from repro.experiments.traffic import run_traffic  # noqa: E402
 
 FIXTURES = REPO_ROOT / "tests" / "fixtures"
+
+#: The reduced traffic workload the fixture (and its diff test) pins:
+#: one policy, both algorithms, faulted runs included.
+TRAFFIC_POLICIES = ("shortest-latency",)
 
 
 def figure5_fixture() -> dict:
@@ -52,6 +57,31 @@ def figure6_fixture() -> dict:
     }
 
 
+def traffic_fixture() -> dict:
+    result = run_traffic(TEST_SCALE, policies=TRAFFIC_POLICIES)
+    series = {}
+    for name, run in sorted(result.results.items()):
+        series[name] = {
+            "delivered_bytes": list(run.delivered_bytes),
+            "lost_bytes": list(run.lost_bytes),
+            "flows_completed": run.flows_completed,
+            "flows_failed": run.flows_failed,
+            "packets_forwarded": run.packets_forwarded,
+            "packets_lost": run.packets_lost,
+            "macs_verified": run.macs_verified,
+            "cache_hits": run.cache_hits,
+            "cache_misses": run.cache_misses,
+            "scmp_events": run.scmp_events,
+            "sig_encapsulated": run.sig_encapsulated,
+            "sig_decapsulated": run.sig_decapsulated,
+            "failed_links": list(run.failed_links),
+            "total_link_bytes": sum(run.link_bytes.values()),
+            # Float pipeline: summed, compared with approx in the test.
+            "latency_sum": sum(run.flow_latencies),
+        }
+    return {"scale": result.scale_name, "series": series}
+
+
 def write(name: str, payload: dict) -> None:
     path = FIXTURES / name
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -62,6 +92,7 @@ def main() -> int:
     FIXTURES.mkdir(parents=True, exist_ok=True)
     write("figure5_test.json", figure5_fixture())
     write("figure6_test.json", figure6_fixture())
+    write("traffic_test.json", traffic_fixture())
     return 0
 
 
