@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set
 
 from ..core.scoring import DiversityParams
+from ..obs import NULL_TELEMETRY, Telemetry
 
 # NOTE: the dataplane modules import control.segments; to keep both packages
 # importable from either direction, the dataplane symbols are imported
@@ -58,10 +59,12 @@ class ScionNetwork:
         core_config: Optional[BeaconingConfig] = None,
         intra_config: Optional[BeaconingConfig] = None,
         registration_limit: int = 5,
+        obs: Optional[Telemetry] = None,
     ) -> None:
         self.topology = topology
         self.algorithm = algorithm
         self.registration_limit = registration_limit
+        self.obs = obs if obs is not None else NULL_TELEMETRY
         self.log = ControlMessageLog()
         self._factory = _factory(algorithm, params)
         self.core_config = core_config or BeaconingConfig(
@@ -89,7 +92,7 @@ class ScionNetwork:
     def run(self) -> "ScionNetwork":
         """Run beaconing, build path servers, register segments."""
         self.core_sim = BeaconingSimulation(
-            self.topology, self._factory, self.core_config
+            self.topology, self._factory, self.core_config, obs=self.obs
         ).run()
         self.now = self.core_sim.end_time
         for isd in self._isds():
@@ -102,7 +105,7 @@ class ScionNetwork:
             if not sub.core_asns() or not sub.non_core_asns():
                 continue
             self.intra_sims[isd] = BeaconingSimulation(
-                sub, self._factory, self.intra_config
+                sub, self._factory, self.intra_config, obs=self.obs
             ).run()
         self._build_path_servers()
         self._register_segments()

@@ -45,6 +45,12 @@ class SegmentCache:
     engine resolving millions of user flows).
     """
 
+    #: Optional observability hook ``on_event(kind, key)`` with kind in
+    #: {"hit", "miss", "eviction", "expiration"}. A class-level default of
+    #: ``None`` keeps the hot path to one branch and lets caches restored
+    #: from pre-telemetry pickles work unchanged.
+    on_event = None
+
     def __init__(self, ttl: float = 3600.0, max_entries: int = 4096) -> None:
         if ttl <= 0:
             raise ValueError("ttl must be positive")
@@ -60,18 +66,36 @@ class SegmentCache:
         self.evictions = 0
         self.expirations = 0
 
+    def counters(self) -> Dict[str, int]:
+        """The cache's lifetime event counters, by event kind — the shape
+        :meth:`repro.traffic.engine.TrafficEngine` exports to the metrics
+        registry."""
+        return {
+            "hit": self.hits,
+            "miss": self.misses,
+            "eviction": self.evictions,
+            "expiration": self.expirations,
+        }
+
     def get(self, key, now: float) -> Optional[List[PathSegment]]:
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            if self.on_event is not None:
+                self.on_event("miss", key)
             return None
         if entry[0] <= now:
             del self._entries[key]
             self.expirations += 1
             self.misses += 1
+            if self.on_event is not None:
+                self.on_event("expiration", key)
+                self.on_event("miss", key)
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        if self.on_event is not None:
+            self.on_event("hit", key)
         return list(entry[1])
 
     def put(self, key, segments: List[PathSegment], now: float) -> None:
@@ -81,8 +105,10 @@ class SegmentCache:
         if key not in self._entries and len(self._entries) >= self.max_entries:
             self.sweep(now)
             while len(self._entries) >= self.max_entries:
-                self._entries.popitem(last=False)
+                evicted_key, _ = self._entries.popitem(last=False)
                 self.evictions += 1
+                if self.on_event is not None:
+                    self.on_event("eviction", evicted_key)
         self._entries[key] = (deadline, list(segments))
         self._entries.move_to_end(key)
 
@@ -93,6 +119,8 @@ class SegmentCache:
         ]
         for key in expired:
             del self._entries[key]
+            if self.on_event is not None:
+                self.on_event("expiration", key)
         self.expirations += len(expired)
         return len(expired)
 

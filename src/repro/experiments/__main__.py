@@ -27,6 +27,8 @@ import argparse
 import sys
 import time
 
+from ..obs import Telemetry, configure_logging, get_reporter
+from ..obs.log import LEVELS
 from ..runtime import ExperimentRuntime, default_cache_dir, default_jobs
 from .config import get_scale
 from .faults import run_faults
@@ -88,14 +90,48 @@ def main(argv=None) -> int:
             "experiment (default: per-scale preset)"
         ),
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the merged metrics snapshot (JSON) to this path",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help=(
+            "write the trace-event stream (JSONL) to this path; convert "
+            "with tools/trace_report.py for chrome://tracing"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "enable the sampling profiler; hot phases are printed and "
+            "folded into the metrics snapshot as wall-clock gauges"
+        ),
+    )
+    parser.add_argument(
+        "--log-level",
+        default="info",
+        choices=LEVELS,
+        help="reporter verbosity (default: info, plain stdout lines)",
+    )
     args = parser.parse_args(argv)
     scale = get_scale(args.scale)
+    configure_logging(args.log_level)
+    reporter = get_reporter("repro.experiments")
+
+    collect = bool(args.metrics_out or args.trace_out or args.profile)
+    telemetry = Telemetry.collecting(profile=args.profile) if collect else None
 
     def make_runtime() -> ExperimentRuntime:
         cache = None
         if not args.no_cache:
             cache = args.cache_dir if args.cache_dir else default_cache_dir()
-        return ExperimentRuntime(jobs=args.jobs, cache=cache)
+        return ExperimentRuntime(
+            jobs=args.jobs, cache=cache, telemetry=telemetry
+        )
 
     runners = {
         "table1": lambda rt: run_table1(scale, runtime=rt).render(),
@@ -122,12 +158,42 @@ def main(argv=None) -> int:
     for name in names:
         runtime = make_runtime()
         start = time.time()
-        print(runners[name](runtime))
+        if telemetry is not None:
+            with telemetry.trace.span("experiments", name):
+                output = runners[name](runtime)
+        else:
+            output = runners[name](runtime)
+        reporter.info(output)
         if not args.no_timing and runtime.report.phases:
-            print()
-            print(runtime.report.render())
-        print(f"[{name} completed in {time.time() - start:.1f}s]\n")
+            reporter.info("")
+            reporter.info(runtime.report.render())
+        reporter.info(f"[{name} completed in {time.time() - start:.1f}s]\n")
+    if telemetry is not None:
+        _write_telemetry(telemetry, args, reporter)
     return 0
+
+
+def _write_telemetry(telemetry: Telemetry, args, reporter) -> None:
+    """Persist the merged telemetry per the CLI flags."""
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            handle.write(telemetry.metrics.to_json())
+            handle.write("\n")
+        reporter.info(f"[metrics snapshot written to {args.metrics_out}]")
+    if args.trace_out:
+        count = telemetry.trace.write_jsonl(args.trace_out)
+        reporter.info(f"[{count} trace events written to {args.trace_out}]")
+    if args.profile:
+        totals = {}
+        for entry in telemetry.metrics.snapshot()["gauges"]:
+            if entry["name"] != "profile.seconds_estimate":
+                continue
+            phase = entry["labels"].get("phase", "?")
+            totals[phase] = totals.get(phase, 0.0) + entry["value"]
+        if totals:
+            reporter.info("hot phases (extrapolated wall seconds):")
+            for phase in sorted(totals, key=lambda p: -totals[p])[:10]:
+                reporter.info(f"  {phase:40s} {totals[phase]:9.3f}s")
 
 
 def _render_gridsearch(scale) -> str:

@@ -27,6 +27,7 @@ from ..analysis.resilience import path_set_resilience
 from ..control.messages import Component
 from ..control.revocation import RevocationService
 from ..core.policy import Transmission
+from ..obs import NULL_TELEMETRY, Telemetry
 from ..simulation.beaconing import BeaconingSimulation
 from .schedule import FaultEvent, FaultKind, FaultSchedule
 
@@ -36,6 +37,9 @@ __all__ = [
     "FaultRunResult",
     "FaultInjector",
 ]
+
+#: Bucket bounds (beaconing intervals) of the recovery-time histograms.
+RECOVERY_INTERVAL_BUCKETS = (1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 34.0)
 
 
 @dataclass(frozen=True)
@@ -193,9 +197,11 @@ class FaultInjector:
         revocations: Optional[RevocationService] = None,
         loss_seed: int = 0,
         name: str = "fault-run",
+        obs: Optional[Telemetry] = None,
     ) -> None:
         self.sim = sim
         self.schedule = schedule
+        self.obs = obs if obs is not None else NULL_TELEMETRY
         self.pairs = tuple(sorted(pairs))
         self.revocations = revocations
         self.loss_seed = loss_seed
@@ -211,6 +217,7 @@ class FaultInjector:
         self._trackers = [_PairTracker(record) for record in self.result.pairs]
         self._first_fault = schedule.first_fault_interval()
         self._captured_pre = False
+        self._metrics_exported = False
 
     # ----------------------------------------------------------------- run
 
@@ -223,11 +230,14 @@ class FaultInjector:
     def step(self) -> None:
         """One beaconing interval: apply due events, step, observe."""
         interval = self.sim.intervals_run
-        if interval == self._first_fault and not self._captured_pre:
-            self._capture_pre()
-        self._apply_events(interval)
-        self.sim.step()
-        self._observe(interval)
+        with self.obs.trace.span(
+            "faults", "step", run=self.result.name, interval=interval
+        ):
+            if interval == self._first_fault and not self._captured_pre:
+                self._capture_pre()
+            self._apply_events(interval)
+            self.sim.step()
+            self._observe(interval)
 
     def finalize(self) -> FaultRunResult:
         """Capture the post-run state; idempotent."""
@@ -238,7 +248,36 @@ class FaultInjector:
                 self.sim.topology, record.origin, record.receiver, paths
             )
         self.result.pcbs_lost = self.sim.pcbs_lost
+        if self.obs.metrics.enabled and not self._metrics_exported:
+            self._metrics_exported = True
+            self._export_metrics()
         return self.result
+
+    def _export_metrics(self) -> None:
+        """Fold this run's totals into the metrics registry (once)."""
+        metrics = self.obs.metrics
+        result = self.result
+        labels = {"run": result.name}
+        for name, value in (
+            ("faults.events_applied", result.events_applied),
+            ("faults.revocations_issued", result.revocations_issued),
+            ("faults.revocation_bytes", result.revocation_bytes),
+            ("faults.beacons_revoked", result.beacons_revoked),
+            ("faults.pcbs_lost", result.pcbs_lost),
+        ):
+            if value:
+                metrics.counter(name, labels).inc(value)
+        reconnect = metrics.histogram(
+            "faults.reconnect_intervals", RECOVERY_INTERVAL_BUCKETS, labels
+        )
+        restore = metrics.histogram(
+            "faults.restore_intervals", RECOVERY_INTERVAL_BUCKETS, labels
+        )
+        for pair in result.pairs:
+            if pair.reconnect_intervals is not None:
+                reconnect.observe(float(pair.reconnect_intervals))
+            if pair.restore_intervals is not None:
+                restore.observe(float(pair.restore_intervals))
 
     # -------------------------------------------------------------- events
 
@@ -250,6 +289,12 @@ class FaultInjector:
 
     def _apply(self, event: FaultEvent) -> None:
         sim = self.sim
+        self.obs.trace.instant(
+            "faults",
+            event.kind.name.lower(),
+            target=event.target,
+            interval=sim.intervals_run,
+        )
         if event.kind is FaultKind.LINK_DOWN:
             self.result.beacons_revoked += sim.fail_link(event.target)
             self._issue_revocation(event.target)

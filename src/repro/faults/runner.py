@@ -18,6 +18,7 @@ from typing import Dict, Optional, Tuple
 
 from ..control.revocation import RevocationService
 from ..core.scoring import DiversityParams
+from ..obs import Telemetry
 from ..runtime.cache import ExperimentCache, stable_key, topology_fingerprint
 from ..runtime.worker import _load_topology
 from ..simulation.beaconing import (
@@ -83,6 +84,12 @@ class FaultTask:
     topology: Optional[Topology] = None
     cache_dir: Optional[str] = None
     topology_key: Optional[str] = None
+    #: Collect metrics + trace events into the outcome. Lives on the task,
+    #: not the spec: specs feed cache keys, and observing a run must not
+    #: change where its result is cached.
+    telemetry: bool = False
+    #: Also run the sampling profiler (wall-clock; non-deterministic).
+    profile: bool = False
 
 
 @dataclass
@@ -95,6 +102,10 @@ class FaultOutcome:
     result: FaultRunResult
     cached: bool = False
     timings: Dict[str, float] = field(default_factory=dict)
+    #: Worker-side telemetry, shipped back for the parent to merge. A
+    #: cached outcome re-ran nothing, so it carries none.
+    metrics: Optional[Dict] = None
+    trace: Optional[list] = None
 
 
 def execute_fault_run(task: FaultTask) -> FaultOutcome:
@@ -122,8 +133,17 @@ def execute_fault_run(task: FaultTask) -> FaultOutcome:
                 timings=timings,
             )
 
+    tel: Optional[Telemetry] = None
+    if task.telemetry:
+        tel = Telemetry.collecting(
+            profile=task.profile,
+            labels={"series": spec.name, "algorithm": spec.algorithm},
+        )
+
     start = time.perf_counter()
-    sim = BeaconingSimulation(topology, spec.algorithm_factory(), spec.config)
+    sim = BeaconingSimulation(
+        topology, spec.algorithm_factory(), spec.config, obs=tel
+    )
     revocations = (
         RevocationService(topology) if spec.account_revocations else None
     )
@@ -134,10 +154,16 @@ def execute_fault_run(task: FaultTask) -> FaultOutcome:
         revocations=revocations,
         loss_seed=spec.loss_seed,
         name=spec.name,
+        obs=tel,
     )
     result = injector.run()
     timings["run"] = time.perf_counter() - start
 
     if cache is not None and result_key is not None:
         cache.store(result_key, result)
-    return FaultOutcome(name=spec.name, result=result, timings=timings)
+    outcome = FaultOutcome(name=spec.name, result=result, timings=timings)
+    if tel is not None:
+        tel.export_profile()
+        outcome.metrics = tel.metrics.snapshot()
+        outcome.trace = list(tel.trace.events)
+    return outcome

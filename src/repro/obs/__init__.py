@@ -1,0 +1,128 @@
+"""repro.obs — zero-dependency observability for the whole stack.
+
+Three cooperating pieces, bundled by :class:`Telemetry`:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges and
+  fixed-bucket histograms with labels, Prometheus text exposition, JSON
+  snapshots, and an order-independent merge for process-pool fan-out;
+* :class:`~repro.obs.trace.TraceRecorder` — structured span/instant
+  events on a monotonic clock, written as JSONL and convertible to the
+  Chrome trace-event format by ``tools/trace_report.py``;
+* :class:`~repro.obs.profile.Profiler` — an opt-in sampling timer for
+  the simulator event loop and the forwarding loop.
+
+Instrumented components default to :data:`NULL_TELEMETRY`, whose parts
+are all disabled: the hot-path cost of unused telemetry is an attribute
+load and a no-op call, never a format or an allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from .log import configure as configure_logging
+from .log import get_reporter
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import Profiler
+from .trace import (
+    TraceRecorder,
+    category_summary,
+    chrome_trace,
+    format_category_summary,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Profiler",
+    "TraceRecorder",
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "configure_logging",
+    "get_reporter",
+    "chrome_trace",
+    "category_summary",
+    "format_category_summary",
+]
+
+
+@dataclass
+class Telemetry:
+    """The observability bundle instrumented components accept."""
+
+    metrics: MetricsRegistry = field(
+        default_factory=lambda: MetricsRegistry(enabled=False)
+    )
+    trace: TraceRecorder = field(
+        default_factory=lambda: TraceRecorder(enabled=False)
+    )
+    profile: Profiler = field(default_factory=lambda: Profiler(enabled=False))
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.metrics.enabled or self.trace.enabled or self.profile.enabled
+        )
+
+    @classmethod
+    def collecting(
+        cls,
+        *,
+        profile: bool = False,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> "Telemetry":
+        """A fully enabled bundle; ``labels`` tag every metric recorded."""
+        return cls(
+            metrics=MetricsRegistry(enabled=True, const_labels=labels),
+            trace=TraceRecorder(enabled=True, measure_overhead=profile),
+            profile=Profiler(enabled=profile),
+        )
+
+    def export_profile(self) -> None:
+        """Fold profiler + self-overhead results into the metrics registry.
+
+        Called once at the end of a collection window. Profile gauges are
+        wall-clock estimates, so they only appear in snapshots when
+        profiling was explicitly enabled — the deterministic (default)
+        snapshot never contains them.
+        """
+        if not self.profile.enabled or not self.metrics.enabled:
+            return
+        for phase, stats in sorted(self.profile.report().items()):
+            labels = {"phase": phase}
+            self.metrics.gauge(
+                "profile.seconds_estimate", labels, mode="sum"
+            ).add(stats["seconds_estimate"])
+            self.metrics.gauge(
+                "profile.calls", labels, mode="sum"
+            ).add(stats["calls"])
+        # Telemetry's own cost: time spent appending trace events. This is
+        # the "overhead reported in the snapshot itself".
+        self.metrics.gauge(
+            "obs.trace_record_seconds", mode="sum"
+        ).add(self.trace.record_seconds)
+        self.metrics.gauge("obs.trace_events", mode="sum").add(
+            float(self.trace.records)
+        )
+
+    def merge_outcome(
+        self,
+        metrics_snapshot: Optional[Mapping],
+        trace_events: Optional[list],
+        *,
+        extra_labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        """Fold one worker outcome (snapshot + events) into this bundle."""
+        if metrics_snapshot:
+            self.metrics.merge_snapshot(
+                metrics_snapshot, extra_labels=extra_labels
+            )
+        if trace_events:
+            self.trace.extend(trace_events)
+
+
+#: Shared disabled bundle; the default for every instrumented component.
+NULL_TELEMETRY = Telemetry()

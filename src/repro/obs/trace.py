@@ -1,0 +1,215 @@
+"""Structured trace-event stream: JSONL spans and instants.
+
+Events are recorded against a per-recorder monotonic clock
+(``time.perf_counter`` rebased to the recorder's creation) in
+microseconds, and their shape is deliberately a superset of the Chrome
+trace-event format: a span is a complete event (``ph == "X"``) with a
+duration, an instant is ``ph == "i"``. ``tools/trace_report.py`` wraps a
+recorded JSONL stream into a ``chrome://tracing`` /
+https://ui.perfetto.dev loadable JSON document.
+
+Worker processes record into their own recorders; the parent folds the
+shipped event lists back in with :meth:`TraceRecorder.extend`, giving
+each worker stream its own ``tid`` so tracks stay separate in the viewer
+(worker clocks are independent — each track starts at zero).
+
+A disabled recorder returns a shared no-op span object from
+:meth:`span`, so tracing hooks on hot paths cost an attribute load and a
+branch, never an allocation.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "TraceRecorder",
+    "chrome_trace",
+    "category_summary",
+    "format_category_summary",
+]
+
+
+class _NullSpan:
+    """Reusable no-op context manager for disabled recorders."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    __slots__ = ("recorder", "category", "name", "args", "start")
+
+    def __init__(
+        self, recorder: "TraceRecorder", category: str, name: str, args: Dict
+    ) -> None:
+        self.recorder = recorder
+        self.category = category
+        self.name = name
+        self.args = args
+
+    def __enter__(self) -> "_Span":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        recorder = self.recorder
+        end = time.perf_counter()
+        event = {
+            "ph": "X",
+            "cat": self.category,
+            "name": self.name,
+            "ts": round((self.start - recorder._t0) * 1e6, 3),
+            "dur": round((end - self.start) * 1e6, 3),
+            "pid": 0,
+            "tid": 0,
+        }
+        if self.args:
+            event["args"] = self.args
+        recorder._record(event)
+        return False
+
+
+class TraceRecorder:
+    """Collects span/instant events in memory; writes JSONL on demand."""
+
+    def __init__(
+        self, enabled: bool = True, *, measure_overhead: bool = False
+    ) -> None:
+        self.enabled = enabled
+        self.events: List[Dict] = []
+        self.record_seconds = 0.0
+        self.records = 0
+        self._measure = measure_overhead
+        self._t0 = time.perf_counter()
+        self._next_tid = 1
+
+    # ----------------------------------------------------------- recording
+
+    def span(self, category: str, name: str, **args):
+        """Context manager timing one span; a no-op when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _Span(self, category, name, args)
+
+    def instant(self, category: str, name: str, **args) -> None:
+        if not self.enabled:
+            return
+        event = {
+            "ph": "i",
+            "s": "t",
+            "cat": category,
+            "name": name,
+            "ts": round((time.perf_counter() - self._t0) * 1e6, 3),
+            "pid": 0,
+            "tid": 0,
+        }
+        if args:
+            event["args"] = args
+        self._record(event)
+
+    def _record(self, event: Dict) -> None:
+        if self._measure:
+            start = time.perf_counter()
+            self.events.append(event)
+            self.record_seconds += time.perf_counter() - start
+        else:
+            self.events.append(event)
+        self.records += 1
+
+    def extend(
+        self, events: Iterable[Dict], *, tid: Optional[int] = None
+    ) -> int:
+        """Fold a worker's event list in under its own thread track."""
+        if tid is None:
+            tid = self._next_tid
+            self._next_tid += 1
+        else:
+            self._next_tid = max(self._next_tid, tid + 1)
+        count = 0
+        for event in events:
+            merged = dict(event)
+            merged["tid"] = tid
+            self.events.append(merged)
+            count += 1
+        self.records += count
+        return count
+
+    # ------------------------------------------------------------- output
+
+    def write_jsonl(self, path) -> int:
+        """One JSON object per line; returns the number of events."""
+        with open(path, "w") as handle:
+            for event in self.events:
+                handle.write(json.dumps(event, sort_keys=True))
+                handle.write("\n")
+        return len(self.events)
+
+
+# --------------------------------------------------------------- reporting
+
+
+def chrome_trace(events: Iterable[Dict]) -> Dict:
+    """Wrap recorded events into a Chrome trace-event JSON document.
+
+    The recorded shape already matches the trace-event format; this adds
+    the document envelope and defaults the fields the viewer requires.
+    """
+    trace_events = []
+    for event in events:
+        out = dict(event)
+        out.setdefault("ph", "X")
+        out.setdefault("pid", 0)
+        out.setdefault("tid", 0)
+        out.setdefault("ts", 0.0)
+        if out["ph"] == "X":
+            out.setdefault("dur", 0.0)
+        trace_events.append(out)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def category_summary(events: Iterable[Dict]) -> Dict[str, Dict[str, float]]:
+    """Per-category totals: span count/duration and instant count."""
+    summary: Dict[str, Dict[str, float]] = {}
+    for event in events:
+        category = event.get("cat", "uncategorized")
+        bucket = summary.setdefault(
+            category, {"spans": 0, "instants": 0, "duration_us": 0.0}
+        )
+        if event.get("ph") == "X":
+            bucket["spans"] += 1
+            bucket["duration_us"] += float(event.get("dur", 0.0))
+        else:
+            bucket["instants"] += 1
+    return summary
+
+
+def format_category_summary(
+    summary: Dict[str, Dict[str, float]]
+) -> str:
+    """Monospace per-category duration table for terminal output."""
+    lines = [
+        f"  {'category':20s} {'spans':>7s} {'instants':>9s} "
+        f"{'total ms':>10s} {'mean us':>9s}"
+    ]
+    for category in sorted(
+        summary, key=lambda c: -summary[c]["duration_us"]
+    ):
+        bucket = summary[category]
+        spans = int(bucket["spans"])
+        mean = bucket["duration_us"] / spans if spans else 0.0
+        lines.append(
+            f"  {category:20s} {spans:7d} {int(bucket['instants']):9d} "
+            f"{bucket['duration_us'] / 1e3:10.3f} {mean:9.1f}"
+        )
+    return "\n".join(lines)

@@ -15,6 +15,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from datetime import datetime, timezone
 from typing import Dict, Iterator, List, Optional
 
 __all__ = ["PhaseRecord", "RunReport"]
@@ -48,6 +49,9 @@ class RunReport:
     jobs: int = 1
     phases: List[PhaseRecord] = field(default_factory=list)
     started_at: float = field(default_factory=time.time)
+    #: Run-level aggregates folded in from the telemetry registry
+    #: (``repro.obs``) when the run collected metrics.
+    counters: Dict[str, float] = field(default_factory=dict)
 
     @contextmanager
     def phase(
@@ -104,7 +108,11 @@ class RunReport:
             "experiment": self.experiment,
             "scale": self.scale,
             "jobs": self.jobs,
+            "started_at": datetime.fromtimestamp(
+                self.started_at, tz=timezone.utc
+            ).isoformat(),
             "total_seconds": round(self.total_seconds, 6),
+            "counters": dict(self.counters),
             "phases": [record.to_dict() for record in self.phases],
         }
 

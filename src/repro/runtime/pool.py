@@ -28,6 +28,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
+from ..obs import Telemetry
 from ..topology.model import Topology
 from .cache import ExperimentCache, stable_key, topology_fingerprint
 from .instrument import RunReport
@@ -57,6 +58,7 @@ class ExperimentRuntime:
         jobs: int = 1,
         cache: Union[ExperimentCache, os.PathLike, str, None] = None,
         report: Optional[RunReport] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -67,6 +69,32 @@ class ExperimentRuntime:
             self.cache = ExperimentCache(cache)
         self.report = report if report is not None else RunReport(jobs=jobs)
         self.report.jobs = jobs
+        #: When set (and enabled), workers collect per-task registries and
+        #: trace streams that are merged back here — commutatively, in task
+        #: order — so ``--jobs N`` snapshots match ``--jobs 1`` byte for
+        #: byte.
+        self.telemetry = telemetry
+
+    # --------------------------------------------------------- telemetry
+
+    @property
+    def _collecting(self) -> bool:
+        return self.telemetry is not None and self.telemetry.enabled
+
+    def _merge_telemetry(self, outcome: Any) -> None:
+        if not self._collecting:
+            return
+        extra = (
+            {"experiment": self.report.experiment}
+            if self.report.experiment
+            else None
+        )
+        self.telemetry.merge_outcome(
+            getattr(outcome, "metrics", None),
+            getattr(outcome, "trace", None),
+            extra_labels=extra,
+        )
+        self.report.counters = self.telemetry.metrics.counter_totals()
 
     # ------------------------------------------------------- cached values
 
@@ -108,6 +136,7 @@ class ExperimentRuntime:
                 outcomes = list(pool.map(execute_series, prepared))
         for outcome in outcomes:
             self._record(outcome)
+            self._merge_telemetry(outcome)
         return outcomes
 
     def run_faults(self, tasks: Sequence[Tuple[Topology, Any]]) -> List[Any]:
@@ -118,17 +147,28 @@ class ExperimentRuntime:
         # Imported lazily: repro.faults.runner imports this package.
         from ..faults.runner import FaultTask, execute_fault_run
 
+        telemetry = self._collecting
+        profile = telemetry and self.telemetry.profile.enabled
         prepared = []
         for topology, spec in tasks:
             cache_dir, topology_key = self._ship_topology(topology)
             if cache_dir is None:
-                prepared.append(FaultTask(spec=spec, topology=topology))
+                prepared.append(
+                    FaultTask(
+                        spec=spec,
+                        topology=topology,
+                        telemetry=telemetry,
+                        profile=profile,
+                    )
+                )
             else:
                 prepared.append(
                     FaultTask(
                         spec=spec,
                         cache_dir=cache_dir,
                         topology_key=topology_key,
+                        telemetry=telemetry,
+                        profile=profile,
                     )
                 )
         workers = min(self.jobs, len(prepared))
@@ -148,6 +188,7 @@ class ExperimentRuntime:
                     "beacons_revoked": outcome.result.beacons_revoked,
                 },
             )
+            self._merge_telemetry(outcome)
         return outcomes
 
     def run_traffic(self, tasks: Sequence[Tuple[Topology, Any]]) -> List[Any]:
@@ -158,17 +199,28 @@ class ExperimentRuntime:
         # Imported lazily: repro.traffic.worker imports this package.
         from ..traffic.worker import TrafficTask, execute_traffic_run
 
+        telemetry = self._collecting
+        profile = telemetry and self.telemetry.profile.enabled
         prepared = []
         for topology, spec in tasks:
             cache_dir, topology_key = self._ship_topology(topology)
             if cache_dir is None:
-                prepared.append(TrafficTask(spec=spec, topology=topology))
+                prepared.append(
+                    TrafficTask(
+                        spec=spec,
+                        topology=topology,
+                        telemetry=telemetry,
+                        profile=profile,
+                    )
+                )
             else:
                 prepared.append(
                     TrafficTask(
                         spec=spec,
                         cache_dir=cache_dir,
                         topology_key=topology_key,
+                        telemetry=telemetry,
+                        profile=profile,
                     )
                 )
         workers = min(self.jobs, len(prepared))
@@ -193,6 +245,7 @@ class ExperimentRuntime:
                     "macs": outcome.result.macs_verified,
                 },
             )
+            self._merge_telemetry(outcome)
         return outcomes
 
     def _ship_topology(
@@ -212,12 +265,21 @@ class ExperimentRuntime:
 
     def _prepare(self, topology: Topology, spec: SeriesSpec) -> SeriesTask:
         cache_dir, topology_key = self._ship_topology(topology)
+        telemetry = self._collecting
+        profile = telemetry and self.telemetry.profile.enabled
         if cache_dir is None:
-            return SeriesTask(spec=spec, topology=topology)
+            return SeriesTask(
+                spec=spec,
+                topology=topology,
+                telemetry=telemetry,
+                profile=profile,
+            )
         return SeriesTask(
             spec=spec,
             cache_dir=cache_dir,
             topology_key=topology_key,
+            telemetry=telemetry,
+            profile=profile,
         )
 
     def _record(self, outcome: SeriesOutcome) -> None:

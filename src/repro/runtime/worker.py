@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..analysis.resilience import path_set_resilience
 from ..core.scoring import DiversityParams
+from ..obs import Telemetry
 from ..simulation.beaconing import (
     BeaconingConfig,
     BeaconingSimulation,
@@ -114,6 +115,12 @@ class SeriesTask:
     #: avoids re-pickling the topology into every task submission).
     cache_dir: Optional[str] = None
     topology_key: Optional[str] = None
+    #: Collect metrics + trace events into the outcome. Lives on the task,
+    #: not the spec: specs feed cache keys, and observing a run must not
+    #: change what it computes or where it is cached.
+    telemetry: bool = False
+    #: Also run the sampling profiler (wall-clock; non-deterministic).
+    profile: bool = False
 
 
 @dataclass
@@ -137,6 +144,10 @@ class SeriesOutcome:
     #: Per-pair stored path sets, keyed by pair — only populated when the
     #: caller needs the raw paths rather than the resilience values.
     path_counts: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    #: Worker-side telemetry, shipped back for the parent to merge:
+    #: a MetricsRegistry snapshot and the recorded trace events.
+    metrics: Optional[Dict] = None
+    trace: Optional[List] = None
 
 
 def _load_topology(task: SeriesTask) -> Topology:
@@ -166,6 +177,16 @@ def execute_series(task: SeriesTask) -> SeriesOutcome:
     spec = task.spec
     random.seed(spec.seed)
     timings: Dict[str, float] = {}
+    tel: Optional[Telemetry] = None
+    if task.telemetry:
+        tel = Telemetry.collecting(
+            profile=task.profile,
+            labels={
+                "series": spec.name,
+                "algorithm": spec.algorithm,
+                "mode": spec.config.mode.value,
+            },
+        )
 
     start = time.perf_counter()
     topology = _load_topology(task)
@@ -198,6 +219,10 @@ def execute_series(task: SeriesTask) -> SeriesOutcome:
             if cache is not None and snapshot_key is not None:
                 cache.store(snapshot_key, sim)
         timings["warmup"] = time.perf_counter() - start
+        # Telemetry attaches after the warm-up (cached or not), so only
+        # the measured window is observed — identically on both paths.
+        if tel is not None:
+            sim.attach_telemetry(tel)
         start = time.perf_counter()
         sim.run_intervals(spec.config.num_intervals)
         timings["measure"] = time.perf_counter() - start
@@ -205,7 +230,10 @@ def execute_series(task: SeriesTask) -> SeriesOutcome:
         if sim is None:
             sim = BeaconingSimulation(
                 topology, spec.algorithm_factory(), spec.config
-            ).run()
+            )
+            if tel is not None:
+                sim.attach_telemetry(tel)
+            sim.run()
             if cache is not None and snapshot_key is not None:
                 cache.store(snapshot_key, sim)
         timings["measure"] = time.perf_counter() - start
@@ -231,5 +259,9 @@ def execute_series(task: SeriesTask) -> SeriesOutcome:
         )
     timings["analyze"] = time.perf_counter() - start
 
+    if tel is not None:
+        tel.export_profile()
+        outcome.metrics = tel.metrics.snapshot()
+        outcome.trace = list(tel.trace.events)
     outcome.timings = timings
     return outcome

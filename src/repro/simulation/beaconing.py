@@ -32,6 +32,7 @@ from ..core.diversity import DiversityAlgorithm
 from ..core.pcb import PCB
 from ..core.policy import PathConstructionAlgorithm, Transmission
 from ..core.scoring import DiversityParams
+from ..obs import NULL_TELEMETRY, Telemetry
 from ..topology.model import Link, Relationship, Topology
 from .metrics import TrafficMetrics
 
@@ -134,12 +135,20 @@ class BeaconServerSim:
 class BeaconingSimulation:
     """Runs one beaconing process over a topology and collects metrics."""
 
+    #: Class-level default so simulations restored from pre-telemetry warm
+    #: snapshots (and fresh ones without an attached bundle) are no-ops.
+    obs: Telemetry = NULL_TELEMETRY
+
     def __init__(
         self,
         topology: Topology,
         algorithm_factory: AlgorithmFactory,
         config: Optional[BeaconingConfig] = None,
+        *,
+        obs: Optional[Telemetry] = None,
     ) -> None:
+        if obs is not None:
+            self.obs = obs
         self.topology = topology
         self.config = config or BeaconingConfig()
         self.metrics = TrafficMetrics()
@@ -216,8 +225,47 @@ class BeaconingSimulation:
             self.step()
         return self
 
+    def attach_telemetry(self, obs: Telemetry) -> None:
+        """Attach (or replace) the telemetry bundle — e.g. after loading a
+        warm snapshot, so only the measured window is counted."""
+        self.obs = obs
+
+    def __getstate__(self) -> dict:
+        # Telemetry never travels with warm-state snapshots: a cached
+        # simulation must not resurrect a stale recorder, and the cache
+        # key deliberately ignores observability settings.
+        state = self.__dict__.copy()
+        state.pop("obs", None)
+        return state
+
     def step(self) -> None:
         """One beaconing interval: deliver, originate, select-and-send."""
+        obs = self.obs
+        if not obs.enabled:
+            self._step_inner()
+            return
+        pcbs_before = self.metrics.total_pcbs
+        bytes_before = self.metrics.total_bytes
+        lost_before = self.pcbs_lost
+        mode = self.config.mode.value
+        with obs.trace.span(
+            "beaconing", "interval", mode=mode, interval=self.intervals_run
+        ):
+            self._step_inner()
+        labels = {"mode": mode}
+        metrics = obs.metrics
+        metrics.counter("beaconing.intervals", labels).inc()
+        metrics.counter("beaconing.pcbs_disseminated", labels).inc(
+            self.metrics.total_pcbs - pcbs_before
+        )
+        metrics.counter("beaconing.bytes_sent", labels).inc(
+            self.metrics.total_bytes - bytes_before
+        )
+        lost = self.pcbs_lost - lost_before
+        if lost:
+            metrics.counter("beaconing.pcbs_lost", labels).inc(lost)
+
+    def _step_inner(self) -> None:
         self._deliver()
         self._originate()
         for asn in sorted(self.servers):
@@ -271,6 +319,9 @@ class BeaconingSimulation:
         """
         self.topology.link(link_id)  # validate the id
         self._failed_links.add(link_id)
+        self.obs.trace.instant(
+            "beaconing", "fail_link", link_id=link_id, interval=self.intervals_run
+        )
         revoked = 0
         for server in self.servers.values():
             revoked += server.store.remove_crossing(link_id)
@@ -292,6 +343,10 @@ class BeaconingSimulation:
         """
         self.topology.link(link_id)  # validate the id
         self._failed_links.discard(link_id)
+        self.obs.trace.instant(
+            "beaconing", "recover_link", link_id=link_id,
+            interval=self.intervals_run,
+        )
         self._refresh_egress()
 
     def fail_as(self, asn: int) -> int:

@@ -13,6 +13,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
+from ..obs import NULL_TELEMETRY, Telemetry
+
 __all__ = ["Event", "EventQueue", "SimulationClock", "Simulator"]
 
 
@@ -93,10 +95,21 @@ class EventQueue:
 class Simulator:
     """Run events in time order until the queue drains or a horizon hits."""
 
-    def __init__(self, start: float = 0.0) -> None:
+    #: Class-level default keeps pickled simulators and existing callers
+    #: telemetry-free; :meth:`attach_telemetry` opts in.
+    obs: Telemetry = NULL_TELEMETRY
+
+    def __init__(
+        self, start: float = 0.0, *, obs: Optional[Telemetry] = None
+    ) -> None:
         self.clock = SimulationClock(start)
         self.queue = EventQueue()
         self.events_processed = 0
+        if obs is not None:
+            self.obs = obs
+
+    def attach_telemetry(self, obs: Telemetry) -> None:
+        self.obs = obs
 
     @property
     def now(self) -> float:
@@ -122,6 +135,8 @@ class Simulator:
 
         Returns the number of events processed by this call.
         """
+        profiler = self.obs.profile
+        profiling = profiler.enabled
         processed = 0
         while True:
             if max_events is not None and processed >= max_events:
@@ -134,7 +149,18 @@ class Simulator:
             event = self.queue.pop_next()
             assert event is not None
             self.clock.advance_to(event.when)
-            event.action()
+            if profiling:
+                # Sampling timer: phase key is the scheduled callable, so
+                # the profile ranks event *kinds* (e.g. MRAI expirations
+                # vs. message processing), not individual events.
+                action = event.action
+                phase = getattr(
+                    action, "__qualname__", type(action).__name__
+                )
+                with profiler.sample(f"sim.{phase}"):
+                    action()
+            else:
+                event.action()
             processed += 1
         if until is not None and until > self.now:
             # Only jump the clock to the horizon once the queue has drained
@@ -145,4 +171,6 @@ class Simulator:
             if next_time is None or next_time > until:
                 self.clock.advance_to(until)
         self.events_processed += processed
+        if processed and self.obs.metrics.enabled:
+            self.obs.metrics.counter("sim.events_processed").inc(processed)
         return processed

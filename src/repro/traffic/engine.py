@@ -39,12 +39,22 @@ from ..dataplane.combinator import EndToEndPath
 from ..dataplane.packet import HostAddress, ScionPacket, build_forwarding_path
 from ..dataplane.router import ForwardingError, RouterTable
 from ..deployment.sig import ASMap, IPPacket, ScionIPGateway
+from ..obs import NULL_TELEMETRY, Telemetry
 from ..topology.latency import LatencyModel
 from .flows import Flow, FlowGenerator
 from .metrics import TrafficRunResult
 from .policy import PolicyContext, get_policy
 
 __all__ = ["TrafficConfig", "TrafficFaultPlan", "TrafficEngine"]
+
+#: Bucket bounds (seconds) of the forwarding-latency histogram; the
+#: simulated one-way latencies land in the tens-of-milliseconds range.
+FORWARD_LATENCY_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.075, 0.1, 0.15, 0.25, 0.5, 1.0,
+)
+
+#: Bucket bounds of the end-to-end AS-hop-count histogram.
+PATH_HOPS_BUCKETS = (2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 14.0)
 
 
 @dataclass(frozen=True)
@@ -105,12 +115,14 @@ class TrafficEngine:
         *,
         legacy_asns: Tuple[int, ...] = (),
         name: str = "traffic",
+        obs: Optional[Telemetry] = None,
     ) -> None:
         self.network = network
         self.topology = network.topology
         self.generator = generator
         self.config = config
         self.name = name
+        self.obs = obs if obs is not None else NULL_TELEMETRY
         self.routers = network.router_table
         self.latency = LatencyModel(self.topology, seed=config.latency_seed)
         self.policy = get_policy(config.policy)
@@ -152,6 +164,11 @@ class TrafficEngine:
         self._ctx = PolicyContext(
             self.latency, self._prev_utilization, self._pair_history
         )
+        self._wire_cache_events()
+
+    def attach_telemetry(self, obs: Telemetry) -> None:
+        self.obs = obs
+        self._wire_cache_events()
 
     # ------------------------------------------------------------ plumbing
 
@@ -171,16 +188,46 @@ class TrafficEngine:
                 self._tick_link_bytes.get(link_id, 0) + wire_bytes
             )
 
+    def _iter_caches(self):
+        """Every SegmentCache reachable from this run, tagged by kind."""
+        for server in self.network.local_servers.values():
+            yield "down", server.down_cache
+            yield "core", server.core_cache
+        for server in self.network.core_servers.values():
+            yield "remote", server.remote_cache
+
     def _cache_counters(self) -> Tuple[int, int]:
         hits = misses = 0
-        for server in self.network.local_servers.values():
-            for cache in (server.down_cache, server.core_cache):
-                hits += cache.hits
-                misses += cache.misses
-        for server in self.network.core_servers.values():
-            hits += server.remote_cache.hits
-            misses += server.remote_cache.misses
+        for _, cache in self._iter_caches():
+            hits += cache.hits
+            misses += cache.misses
         return hits, misses
+
+    def _cache_counter_map(self) -> Dict[str, Dict[str, int]]:
+        """Per-kind hit/miss/eviction/expiration totals over all caches."""
+        totals: Dict[str, Dict[str, int]] = {}
+        for kind, cache in self._iter_caches():
+            bucket = totals.setdefault(
+                kind, {"hit": 0, "miss": 0, "eviction": 0, "expiration": 0}
+            )
+            for event, count in cache.counters().items():
+                bucket[event] += count
+        return totals
+
+    def _wire_cache_events(self) -> None:
+        """Emit a trace instant per cache lookup event when tracing."""
+        trace = self.obs.trace
+        if not trace.enabled:
+            return
+        for kind, cache in self._iter_caches():
+            cache.on_event = (
+                lambda event, key, _kind=kind: trace.instant(
+                    "path_server",
+                    f"cache_{event}",
+                    cache=_kind,
+                    key=str(key),
+                )
+            )
 
     # -------------------------------------------------------------- faults
 
@@ -216,6 +263,12 @@ class TrafficEngine:
                 self._failed_links.add(link_id)
             result.fail_tick = tick
             result.failed_links = tuple(sorted(self._failed_links))
+            self.obs.trace.instant(
+                "traffic",
+                "fail_links",
+                tick=tick,
+                links=list(result.failed_links),
+            )
         if tick == plan.recover_tick:
             for link_id in sorted(self._failed_links):
                 self.network.recover_link(link_id)
@@ -228,6 +281,7 @@ class TrafficEngine:
             for server in self.network.core_servers.values():
                 server.remote_cache.clear()
             result.recover_tick = tick
+            self.obs.trace.instant("traffic", "recover_links", tick=tick)
 
     def _invalidate_lookup_state(self, src: int, dst: int) -> None:
         """SCMP reaction: the endpoint drops its cached resolution and the
@@ -253,30 +307,84 @@ class TrafficEngine:
             link_capacity_bps=self.config.link_capacity_bps,
             legacy_asns=self.legacy_asns,
         )
+        obs = self.obs
         hits0, misses0 = self._cache_counters()
+        caches0 = self._cache_counter_map() if obs.metrics.enabled else None
         for tick in range(config.num_ticks):
-            result.offered_bytes.append(0)
-            result.delivered_bytes.append(0)
-            result.lost_bytes.append(0)
-            self._apply_fault_plan(tick, fault_plan, result)
-            for flow in self.generator.flows_for_tick(tick):
-                self._serve_flow(flow, tick, result)
-            # Roll tick-level link accounting into the run totals.
-            for link_id, count in self._tick_link_bytes.items():
-                result.link_bytes[link_id] = (
-                    result.link_bytes.get(link_id, 0) + count
-                )
-                if count > result.link_peak_bytes.get(link_id, 0):
-                    result.link_peak_bytes[link_id] = count
-            self._prev_tick_link_bytes = self._tick_link_bytes
-            self._tick_link_bytes = {}
+            with obs.trace.span("traffic", "tick", run=self.name, tick=tick):
+                result.offered_bytes.append(0)
+                result.delivered_bytes.append(0)
+                result.lost_bytes.append(0)
+                self._apply_fault_plan(tick, fault_plan, result)
+                for flow in self.generator.flows_for_tick(tick):
+                    self._serve_flow(flow, tick, result)
+                # Roll tick-level link accounting into the run totals.
+                for link_id, count in self._tick_link_bytes.items():
+                    result.link_bytes[link_id] = (
+                        result.link_bytes.get(link_id, 0) + count
+                    )
+                    if count > result.link_peak_bytes.get(link_id, 0):
+                        result.link_peak_bytes[link_id] = count
+                self._prev_tick_link_bytes = self._tick_link_bytes
+                self._tick_link_bytes = {}
         hits1, misses1 = self._cache_counters()
         result.cache_hits = hits1 - hits0
         result.cache_misses = misses1 - misses0
         for sig in self._sigs.values():
             result.sig_encapsulated += sig.encapsulated
             result.sig_decapsulated += sig.decapsulated
+        if caches0 is not None:
+            self._export_metrics(result, caches0)
         return result
+
+    def _export_metrics(
+        self,
+        result: TrafficRunResult,
+        caches0: Dict[str, Dict[str, int]],
+    ) -> None:
+        """Fold this run's aggregates into the metrics registry."""
+        metrics = self.obs.metrics
+        labels = {"policy": self.config.policy, "run": self.name}
+        for name, value in (
+            ("traffic.flows_started", result.flows_started),
+            ("traffic.flows_completed", result.flows_completed),
+            ("traffic.flows_failed", result.flows_failed),
+            ("traffic.packets_forwarded", result.packets_forwarded),
+            ("traffic.packets_lost", result.packets_lost),
+            ("traffic.macs_verified", result.macs_verified),
+            ("traffic.scmp_events", result.scmp_events),
+            ("traffic.re_lookups", result.re_lookups),
+            ("traffic.offered_bytes", sum(result.offered_bytes)),
+            ("traffic.delivered_bytes", sum(result.delivered_bytes)),
+            ("traffic.lost_bytes", sum(result.lost_bytes)),
+            ("traffic.sig_encapsulated", result.sig_encapsulated),
+            ("traffic.sig_decapsulated", result.sig_decapsulated),
+        ):
+            if value:
+                metrics.counter(name, labels).inc(value)
+        latency = metrics.histogram(
+            "traffic.forward_latency_seconds",
+            FORWARD_LATENCY_BUCKETS,
+            labels,
+        )
+        for observed in result.flow_latencies:
+            latency.observe(observed)
+        plural = {
+            "hit": "hits",
+            "miss": "misses",
+            "eviction": "evictions",
+            "expiration": "expirations",
+        }
+        caches1 = self._cache_counter_map()
+        for kind in sorted(caches1):
+            before = caches0.get(kind, {})
+            for event, total in sorted(caches1[kind].items()):
+                delta = total - before.get(event, 0)
+                if delta:
+                    metrics.counter(
+                        f"path_server.cache_{plural[event]}",
+                        {**labels, "cache": kind},
+                    ).inc(delta)
 
     # ------------------------------------------------------------ per flow
 
@@ -286,8 +394,16 @@ class TrafficEngine:
         result.flows_started += 1
         result.offered_bytes[tick] += flow.size_bytes
         now = self.network.now
+        profiler = self.obs.profile
+        profiling = profiler.enabled
 
-        candidates = self.network.lookup_paths(flow.src, flow.dst, now=now)
+        if profiling:
+            with profiler.sample("traffic.lookup_paths"):
+                candidates = self.network.lookup_paths(
+                    flow.src, flow.dst, now=now
+                )
+        else:
+            candidates = self.network.lookup_paths(flow.src, flow.dst, now=now)
         alive = [
             path
             for path in candidates
@@ -308,6 +424,13 @@ class TrafficEngine:
             return
 
         path = self.policy.select(flow, alive, self._ctx)
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.histogram(
+                "traffic.path_hops",
+                PATH_HOPS_BUCKETS,
+                {"policy": self.config.policy, "run": self.name},
+            ).observe(float(len(path.asns)))
         pair = (flow.src, flow.dst)
         self._pair_history[pair] = self._pair_history.get(
             pair, frozenset()
@@ -355,7 +478,15 @@ class TrafficEngine:
                     payload_bytes=flow.payload_bytes,
                 )
             try:
-                final, traversed = self.routers.deliver_packet(packet, now=now)
+                if profiling:
+                    with profiler.sample("traffic.forward_packet"):
+                        final, traversed = self.routers.deliver_packet(
+                            packet, now=now
+                        )
+                else:
+                    final, traversed = self.routers.deliver_packet(
+                        packet, now=now
+                    )
             except ForwardingError:
                 break
             result.packets_forwarded += 1

@@ -23,6 +23,8 @@ from typing import Dict, List, Optional, Tuple
 
 from ..control.network import ScionNetwork
 from ..core.scoring import DiversityParams
+from ..obs import Telemetry
+from ..obs.trace import NULL_SPAN
 from ..runtime.cache import ExperimentCache, stable_key, topology_fingerprint
 from ..runtime.worker import _load_topology
 from ..simulation.beaconing import BeaconingConfig
@@ -91,6 +93,12 @@ class TrafficTask:
     topology: Optional[Topology] = None
     cache_dir: Optional[str] = None
     topology_key: Optional[str] = None
+    #: Collect metrics + trace events into the outcome. Lives on the task,
+    #: not the spec: specs feed cache keys, and observing a run must not
+    #: change where its result is cached.
+    telemetry: bool = False
+    #: Also run the sampling profiler (wall-clock; non-deterministic).
+    profile: bool = False
 
 
 @dataclass
@@ -102,6 +110,10 @@ class TrafficOutcome:
     result: TrafficRunResult
     cached: bool = False
     timings: Dict[str, float] = field(default_factory=dict)
+    #: Worker-side telemetry, shipped back for the parent to merge. A
+    #: cached outcome re-ran nothing, so it carries none.
+    metrics: Optional[Dict] = None
+    trace: Optional[List] = None
 
 
 def execute_traffic_run(task: TrafficTask) -> TrafficOutcome:
@@ -130,15 +142,33 @@ def execute_traffic_run(task: TrafficTask) -> TrafficOutcome:
                 timings=timings,
             )
 
+    tel: Optional[Telemetry] = None
+    if task.telemetry:
+        tel = Telemetry.collecting(
+            profile=task.profile,
+            labels={
+                "series": spec.name,
+                "algorithm": spec.algorithm,
+                "policy": spec.traffic_config.policy,
+            },
+        )
+
     start = time.perf_counter()
-    network = ScionNetwork(
-        topology,
-        algorithm=spec.algorithm,
-        params=spec.params,
-        core_config=spec.core_config,
-        intra_config=spec.intra_config,
-        registration_limit=spec.registration_limit,
-    ).run()
+    control_span = (
+        tel.trace.span("traffic", "control", run=spec.name)
+        if tel is not None
+        else NULL_SPAN
+    )
+    with control_span:
+        network = ScionNetwork(
+            topology,
+            algorithm=spec.algorithm,
+            params=spec.params,
+            core_config=spec.core_config,
+            intra_config=spec.intra_config,
+            registration_limit=spec.registration_limit,
+            obs=tel,
+        ).run()
     timings["control"] = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -150,10 +180,16 @@ def execute_traffic_run(task: TrafficTask) -> TrafficOutcome:
         spec.traffic_config,
         legacy_asns=select_legacy_asns(endpoints, spec.legacy_fraction),
         name=spec.name,
+        obs=tel,
     )
     result = engine.run(spec.fault_plan)
     timings["run"] = time.perf_counter() - start
 
     if cache is not None and result_key is not None:
         cache.store(result_key, result)
-    return TrafficOutcome(name=spec.name, result=result, timings=timings)
+    outcome = TrafficOutcome(name=spec.name, result=result, timings=timings)
+    if tel is not None:
+        tel.export_profile()
+        outcome.metrics = tel.metrics.snapshot()
+        outcome.trace = list(tel.trace.events)
+    return outcome

@@ -1,0 +1,426 @@
+"""Tests for the unified telemetry layer (repro.obs).
+
+Covers the ISSUE acceptance properties: disabled telemetry is a shared
+no-op (never a format call), metric merges are order-independent so
+``--jobs N`` snapshots are byte-identical to ``--jobs 1``, SegmentCache
+counters reconcile with the traffic report's cache-hit numbers, and the
+trace stream converts to valid Chrome trace-event JSON.
+"""
+
+import dataclasses
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.control.network import ScionNetwork
+from repro.control.path_server import SegmentCache
+from repro.experiments.common import build_full_stack_topology
+from repro.experiments.config import TEST_SCALE
+from repro.obs import (
+    NULL_TELEMETRY,
+    MetricsRegistry,
+    Profiler,
+    Telemetry,
+    TraceRecorder,
+    category_summary,
+    chrome_trace,
+    format_category_summary,
+)
+from repro.obs.metrics import NULL_INSTRUMENT
+from repro.obs.trace import NULL_SPAN
+from repro.runtime import ExperimentRuntime, SeriesSpec
+from repro.simulation.beaconing import BeaconingConfig, BeaconingMode
+from repro.topology import generate_core_mesh
+from repro.traffic import (
+    FlowConfig,
+    FlowGenerator,
+    TrafficConfig,
+    TrafficEngine,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# --------------------------------------------------------------------------
+# metrics registry
+# --------------------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counters_gauges_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(4.0)
+        reg.histogram("h", (1.0, 2.0)).observe(0.5)
+        reg.histogram("h", (1.0, 2.0)).observe(5.0)
+        snap = reg.snapshot()
+        assert snap["counters"][0]["value"] == 3
+        assert snap["gauges"][0]["value"] == 4.0
+        hist = snap["histograms"][0]
+        assert hist["counts"] == [1, 0, 1]
+        assert hist["count"] == 2
+        assert hist["sum"] == pytest.approx(5.5)
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_labels_separate_series(self):
+        reg = MetricsRegistry(const_labels={"series": "s"})
+        reg.counter("c", {"mode": "a"}).inc()
+        reg.counter("c", {"mode": "b"}).inc(2)
+        snap = reg.snapshot()
+        assert len(snap["counters"]) == 2
+        assert all(
+            e["labels"]["series"] == "s" for e in snap["counters"]
+        )
+        assert reg.counter_totals() == {"c": 3.0}
+
+    def test_disabled_registry_hands_out_shared_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("c") is NULL_INSTRUMENT
+        assert reg.gauge("g") is NULL_INSTRUMENT
+        assert reg.histogram("h", (1.0,)) is NULL_INSTRUMENT
+        NULL_INSTRUMENT.inc()
+        NULL_INSTRUMENT.observe(1.0)
+        assert reg.snapshot() == {
+            "counters": [], "gauges": [], "histograms": []
+        }
+
+    def test_merge_is_order_independent(self):
+        def worker(seed):
+            reg = MetricsRegistry(const_labels={"series": f"w{seed}"})
+            reg.counter("c").inc(seed)
+            reg.gauge("peak", mode="max").set(seed * 10)
+            reg.gauge("total", mode="sum").set(seed)
+            reg.histogram("h", (1.0, 5.0)).observe(seed)
+            return reg.snapshot()
+
+        snaps = [worker(s) for s in (1, 2, 3)]
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for snap in snaps:
+            forward.merge_snapshot(snap, extra_labels={"experiment": "e"})
+        for snap in reversed(snaps):
+            backward.merge_snapshot(snap, extra_labels={"experiment": "e"})
+        assert forward.to_json() == backward.to_json()
+        # Repeated merges of the same worker accumulate (counters sum).
+        forward.merge_snapshot(snaps[0])
+        assert forward.counter_totals()["c"] == 7.0
+
+    def test_merge_rejects_bucket_mismatch(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", (1.0,)).observe(0.5)
+        b.histogram("h", (2.0,)).observe(0.5)
+        with pytest.raises(ValueError, match="bucket mismatch"):
+            a.merge_snapshot(b.snapshot())
+
+    def test_to_json_deterministic(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        assert reg.to_json() == reg.to_json()
+        parsed = json.loads(reg.to_json())
+        assert [e["name"] for e in parsed["counters"]] == ["a", "b"]
+
+    def test_prometheus_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("beaconing.pcbs", {"mode": "core"}).inc(7)
+        reg.gauge("g").set(1.5)
+        reg.histogram("lat", (0.1, 1.0)).observe(0.05)
+        reg.histogram("lat", (0.1, 1.0)).observe(0.5)
+        text = reg.to_prometheus()
+        assert "# TYPE beaconing_pcbs counter" in text
+        assert 'beaconing_pcbs{mode="core"} 7' in text
+        assert "# TYPE lat histogram" in text
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 2' in text
+        assert "lat_count 2" in text
+
+
+# --------------------------------------------------------------------------
+# trace recorder and profiler
+# --------------------------------------------------------------------------
+
+
+class TestTraceRecorder:
+    def test_spans_and_instants(self):
+        trace = TraceRecorder()
+        with trace.span("cat", "work", tick=3):
+            trace.instant("cat", "mark", n=1)
+        assert len(trace.events) == 2
+        instant, span = trace.events
+        assert instant["ph"] == "i" and instant["args"] == {"n": 1}
+        assert span["ph"] == "X" and span["dur"] >= 0
+        assert span["args"] == {"tick": 3}
+
+    def test_disabled_returns_shared_null_span(self):
+        trace = TraceRecorder(enabled=False)
+        assert trace.span("c", "n") is NULL_SPAN
+        trace.instant("c", "n")
+        assert trace.events == []
+
+    def test_extend_assigns_worker_tracks(self):
+        parent = TraceRecorder()
+        worker = [{"ph": "X", "cat": "c", "name": "n", "ts": 0, "dur": 1}]
+        parent.extend(worker)
+        parent.extend(worker)
+        tids = [e["tid"] for e in parent.events]
+        assert tids == [1, 2]
+
+    def test_chrome_trace_document(self):
+        trace = TraceRecorder()
+        with trace.span("c", "s"):
+            pass
+        trace.instant("c", "i")
+        doc = chrome_trace(trace.events)
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        for event in doc["traceEvents"]:
+            assert {"ph", "ts", "pid", "tid"} <= set(event)
+        json.dumps(doc)  # must be serializable as-is
+
+    def test_category_summary(self):
+        trace = TraceRecorder()
+        with trace.span("a", "s"):
+            pass
+        trace.instant("b", "i")
+        summary = category_summary(trace.events)
+        assert summary["a"]["spans"] == 1
+        assert summary["b"]["instants"] == 1
+        rendered = format_category_summary(summary)
+        assert "a" in rendered and "category" in rendered
+
+
+class TestProfiler:
+    def test_counts_all_calls_times_samples(self):
+        prof = Profiler(enabled=True, sample_every=4)
+        for _ in range(10):
+            with prof.sample("phase"):
+                pass
+        report = prof.report()["phase"]
+        assert report["calls"] == 10
+        assert report["samples"] == 3  # calls 0, 4, 8
+        assert report["seconds_estimate"] >= report["seconds_sampled"]
+        assert prof.hot_phases() == [
+            ("phase", report["seconds_estimate"])
+        ]
+
+    def test_disabled_is_noop(self):
+        prof = Profiler(enabled=False)
+        assert prof.sample("p") is NULL_SPAN
+        assert prof.report() == {}
+
+
+# --------------------------------------------------------------------------
+# telemetry bundle
+# --------------------------------------------------------------------------
+
+
+class TestTelemetry:
+    def test_null_telemetry_disabled(self):
+        assert not NULL_TELEMETRY.enabled
+        assert NULL_TELEMETRY.metrics.counter("c") is NULL_INSTRUMENT
+        assert NULL_TELEMETRY.trace.span("c", "n") is NULL_SPAN
+
+    def test_default_snapshot_has_no_wallclock(self):
+        """Without --profile the snapshot must stay deterministic: no
+        profile gauges, no trace-overhead gauges."""
+        tel = Telemetry.collecting()
+        with tel.trace.span("c", "n"):
+            tel.metrics.counter("c").inc()
+        tel.export_profile()
+        snap = tel.metrics.snapshot()
+        assert snap["gauges"] == []
+
+    def test_profile_adds_overhead_gauges(self):
+        tel = Telemetry.collecting(profile=True)
+        with tel.profile.sample("hot"):
+            pass
+        with tel.trace.span("c", "n"):
+            pass
+        tel.export_profile()
+        names = {e["name"] for e in tel.metrics.snapshot()["gauges"]}
+        assert "profile.seconds_estimate" in names
+        assert "obs.trace_record_seconds" in names
+
+
+# --------------------------------------------------------------------------
+# end-to-end: jobs determinism, cache reconciliation, instrumented runs
+# --------------------------------------------------------------------------
+
+
+def _mesh():
+    return generate_core_mesh(8, mean_degree=3.0, seed=5)
+
+
+def _series_specs(topo):
+    config = BeaconingConfig(
+        interval=10.0, duration=40.0, pcb_lifetime=100.0,
+        storage_limit=10, mode=BeaconingMode.CORE,
+    )
+    return [
+        (
+            topo,
+            SeriesSpec(name="baseline", algorithm="baseline", config=config),
+        ),
+        (
+            topo,
+            SeriesSpec(
+                name="warm",
+                algorithm="baseline",
+                config=config,
+                warmup_intervals=2,
+            ),
+        ),
+        (
+            topo,
+            SeriesSpec(
+                name="diversity", algorithm="diversity", config=config
+            ),
+        ),
+    ]
+
+
+class TestJobsDeterminism:
+    def test_metrics_snapshot_byte_identical_across_jobs(self):
+        """The tentpole acceptance property: merged snapshots from N
+        workers equal the serial run's, byte for byte (cache off,
+        profiling off — the deterministic configuration)."""
+        def run(jobs):
+            tel = Telemetry.collecting()
+            runtime = ExperimentRuntime(jobs=jobs, telemetry=tel)
+            runtime.report.experiment = "det"
+            runtime.run_series(_series_specs(_mesh()))
+            return tel, runtime
+
+        tel1, rt1 = run(1)
+        tel2, rt2 = run(2)
+        assert tel1.metrics.to_json() == tel2.metrics.to_json()
+        assert tel1.metrics.counter_totals()["beaconing.intervals"] > 0
+        assert rt1.report.counters == rt2.report.counters
+        # Trace streams cover the same work (timestamps differ).
+        kinds1 = sorted((e["cat"], e["name"]) for e in tel1.trace.events)
+        kinds2 = sorted((e["cat"], e["name"]) for e in tel2.trace.events)
+        assert kinds1 == kinds2
+
+    def test_disabled_telemetry_unchanged_outcomes(self):
+        """Collecting telemetry must not change what a run computes."""
+        plain = ExperimentRuntime(jobs=1).run_series(_series_specs(_mesh()))
+        observed = ExperimentRuntime(
+            jobs=1, telemetry=Telemetry.collecting()
+        ).run_series(_series_specs(_mesh()))
+        for a, b in zip(plain, observed):
+            assert a.total_pcbs == b.total_pcbs
+            assert a.total_bytes == b.total_bytes
+            assert a.intervals_run == b.intervals_run
+
+
+class TestSegmentCacheCounters:
+    def test_counters_and_events(self):
+        cache = SegmentCache(ttl=100.0, max_entries=2)
+        seen = []
+        cache.on_event = lambda kind, key: seen.append((kind, key))
+        cache.put("a", [], now=0.0)
+        cache.put("b", [], now=0.0)
+        assert cache.get("a", now=1.0) is not None   # hit
+        assert cache.get("z", now=1.0) is None       # miss
+        cache.put("c", [], now=1.0)                  # evicts LRU ("b")
+        assert cache.get("a", now=500.0) is None     # expiration + miss
+        counters = cache.counters()
+        assert counters["hit"] == 1
+        assert counters["miss"] == 2
+        assert counters["eviction"] == 1
+        assert counters["expiration"] == 1
+        kinds = [kind for kind, _ in seen]
+        assert kinds.count("hit") == 1
+        assert kinds.count("eviction") == 1
+        assert kinds.count("expiration") == 1
+
+    def test_registry_reconciles_with_traffic_report(self):
+        """Satellite acceptance: path_server.cache_* counters agree with
+        the TrafficRunResult's own cache hit/miss accounting."""
+        topo = build_full_stack_topology(TEST_SCALE, leaves_per_core=2)
+        tel = Telemetry.collecting()
+        network = ScionNetwork(
+            topo,
+            algorithm="baseline",
+            core_config=TEST_SCALE.core_beaconing_config(5),
+            intra_config=TEST_SCALE.intra_isd_config(5),
+            obs=tel,
+        ).run()
+        endpoints = sorted(topo.non_core_asns())
+        engine = TrafficEngine(
+            network,
+            FlowGenerator(
+                endpoints, FlowConfig(flows_per_tick=8, num_ticks=4, seed=3)
+            ),
+            TrafficConfig(),
+            obs=tel,
+        )
+        result = engine.run()
+        totals = tel.metrics.counter_totals("path_server.")
+        assert totals.get("path_server.cache_hits", 0) == result.cache_hits
+        assert (
+            totals.get("path_server.cache_misses", 0) == result.cache_misses
+        )
+        assert result.cache_hits + result.cache_misses > 0
+        # Per-lookup instants were recorded for every hit and miss.
+        lookups = [
+            e
+            for e in tel.trace.events
+            if e["cat"] == "path_server"
+            and e["name"] in ("cache_hit", "cache_miss")
+        ]
+        assert len(lookups) >= result.cache_hits + result.cache_misses
+
+
+# --------------------------------------------------------------------------
+# tools
+# --------------------------------------------------------------------------
+
+
+class TestTraceReportTool:
+    def test_converts_jsonl_to_chrome_trace(self, tmp_path):
+        trace = TraceRecorder()
+        with trace.span("beaconing", "interval", mode="core"):
+            pass
+        trace.instant("faults", "link_down", target=4)
+        jsonl = tmp_path / "trace.jsonl"
+        trace.write_jsonl(jsonl)
+
+        out = tmp_path / "chrome.json"
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "tools" / "trace_report.py"),
+                str(jsonl),
+                "--output",
+                str(out),
+            ],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert "2 events" in proc.stdout
+        assert "beaconing" in proc.stdout  # per-category summary table
+        document = json.loads(out.read_text())
+        assert len(document["traceEvents"]) == 2
+        phases = {e["ph"] for e in document["traceEvents"]}
+        assert phases == {"X", "i"}
+
+    def test_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "tools" / "trace_report.py"),
+                str(bad),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode != 0

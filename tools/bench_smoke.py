@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -35,7 +36,16 @@ from repro.experiments.figure6 import run_figure6  # noqa: E402
 from repro.experiments.scionlab import run_scionlab  # noqa: E402
 from repro.experiments.table1 import run_table1  # noqa: E402
 from repro.experiments.traffic import run_traffic  # noqa: E402
+from repro.obs import Telemetry, configure_logging, get_reporter  # noqa: E402
 from repro.runtime import ExperimentRuntime, default_jobs  # noqa: E402
+
+reporter = get_reporter("repro.tools.bench_smoke")
+
+
+def host_fingerprint() -> str:
+    """Coarse hardware tag so trajectory entries from different machines
+    (laptop vs CI runner) are never compared against each other."""
+    return f"{platform.machine()}-cpu{os.cpu_count() or 0}"
 
 EXPERIMENTS = {
     "table1": run_table1,
@@ -64,10 +74,14 @@ def forwarding_summary(result, report) -> dict:
     return summary
 
 
-def run_smoke(jobs: int, cache_dir: str | None) -> dict:
+def run_smoke(
+    jobs: int, cache_dir: str | None, telemetry: Telemetry | None = None
+) -> dict:
     results = {}
     for name, runner in EXPERIMENTS.items():
-        runtime = ExperimentRuntime(jobs=jobs, cache=cache_dir)
+        runtime = ExperimentRuntime(
+            jobs=jobs, cache=cache_dir, telemetry=telemetry
+        )
         start = time.perf_counter()
         result = runner(get_scale("test"), runtime=runtime)
         wall = time.perf_counter() - start
@@ -88,7 +102,7 @@ def run_smoke(jobs: int, cache_dir: str | None) -> dict:
         results[name] = entry
         cached = runtime.report.cached_phases()
         served = f", cached: {', '.join(cached)}" if cached else ""
-        print(f"  {name}: {wall:.2f}s{served}")
+        reporter.info(f"  {name}: {wall:.2f}s{served}")
     return results
 
 
@@ -120,14 +134,34 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--label", default="", help="free-form tag stored with the entry"
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="also collect telemetry and write the metrics snapshot here",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="also collect telemetry and write the trace JSONL here",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable the sampling profiler (implies telemetry)",
+    )
+    parser.add_argument("--log-level", default="info")
     args = parser.parse_args(argv)
+    configure_logging(args.log_level)
 
-    print(
+    collect = bool(args.metrics_out or args.trace_out or args.profile)
+    telemetry = Telemetry.collecting(profile=args.profile) if collect else None
+    reporter.info(
         f"smoke run: scale=test jobs={args.jobs} "
         f"cache={args.cache_dir or 'off'}"
+        f"{' telemetry=on' if collect else ''}"
     )
     started = time.time()
-    results = run_smoke(args.jobs, args.cache_dir)
+    results = run_smoke(args.jobs, args.cache_dir, telemetry)
     entry = {
         "timestamp": time.strftime(
             "%Y-%m-%dT%H:%M:%SZ", time.gmtime(started)
@@ -136,6 +170,8 @@ def main(argv=None) -> int:
         "scale": "test",
         "jobs": args.jobs,
         "cache": bool(args.cache_dir),
+        "telemetry": collect,
+        "machine": host_fingerprint(),
         "python": platform.python_version(),
         "total_seconds": round(
             sum(e["wall_seconds"] for e in results.values()), 3
@@ -143,7 +179,16 @@ def main(argv=None) -> int:
         "experiments": results,
     }
     append_trajectory(Path(args.output), entry)
-    print(
+    if telemetry is not None:
+        if args.metrics_out:
+            Path(args.metrics_out).write_text(
+                telemetry.metrics.to_json() + "\n"
+            )
+            reporter.info(f"metrics snapshot -> {args.metrics_out}")
+        if args.trace_out:
+            count = telemetry.trace.write_jsonl(args.trace_out)
+            reporter.info(f"{count} trace events -> {args.trace_out}")
+    reporter.info(
         f"total {entry['total_seconds']:.2f}s -> appended to {args.output}"
     )
     return 0

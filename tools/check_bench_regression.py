@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Fail CI when forwarding throughput regresses against the trajectory.
+
+Reads a ``BENCH_smoke.json`` trajectory (as appended by
+``tools/bench_smoke.py``), takes the latest telemetry-off entry with a
+forwarding-throughput record, and compares its ``packets_per_second``
+against the best prior telemetry-off entry from the *same host
+fingerprint* (``machine`` field). Entries from other machines are never
+compared — CI runners and laptops are different hardware.
+
+Exit status: 1 when throughput dropped more than ``--threshold`` (default
+10%) below the baseline; 0 otherwise, including when there is no prior
+same-machine baseline yet (the first run on a runner just records one)::
+
+    python tools/check_bench_regression.py BENCH_smoke.json [--threshold 0.10]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs import configure_logging, get_reporter  # noqa: E402
+
+reporter = get_reporter("repro.tools.check_bench_regression")
+
+
+def throughput(entry: dict) -> float | None:
+    forwarding = entry.get("experiments", {}).get("traffic", {}).get(
+        "forwarding", {}
+    )
+    value = forwarding.get("packets_per_second")
+    return float(value) if value else None
+
+
+def comparable(entry: dict) -> bool:
+    """Only telemetry-off runs gate: enabled telemetry pays measured,
+    intentional overhead and must not trip the regression check."""
+    return not entry.get("telemetry", False) and throughput(entry) is not None
+
+
+def check(history: list, threshold: float) -> int:
+    candidates = [e for e in history if comparable(e)]
+    if not candidates:
+        reporter.info("no telemetry-off forwarding entries; nothing to check")
+        return 0
+    latest = candidates[-1]
+    machine = latest.get("machine", "")
+    latest_pps = throughput(latest)
+    baseline = [
+        throughput(e)
+        for e in candidates[:-1]
+        if e.get("machine", "") == machine
+    ]
+    if not baseline:
+        reporter.info(
+            f"no prior baseline for machine {machine or '?'!s}; "
+            f"recording {latest_pps:.1f} packets/s as the first entry"
+        )
+        return 0
+    best = max(baseline)
+    floor = best * (1.0 - threshold)
+    verdict = "OK" if latest_pps >= floor else "REGRESSION"
+    reporter.info(
+        f"forwarding throughput: {latest_pps:.1f} packets/s vs baseline "
+        f"{best:.1f} (floor {floor:.1f}, threshold {threshold:.0%}) "
+        f"on {machine}: {verdict}"
+    )
+    return 0 if latest_pps >= floor else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trajectory", help="BENCH_smoke.json path")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="max tolerated fractional drop vs the best prior entry",
+    )
+    parser.add_argument("--log-level", default="info")
+    args = parser.parse_args(argv)
+    configure_logging(args.log_level)
+
+    path = Path(args.trajectory)
+    if not path.exists():
+        reporter.info(f"{path} does not exist; nothing to check")
+        return 0
+    try:
+        history = json.loads(path.read_text())
+    except ValueError as exc:
+        raise SystemExit(f"{path}: not valid JSON ({exc})")
+    if not isinstance(history, list):
+        history = [history]
+    return check(history, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,11 @@ import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs import get_reporter  # noqa: E402
+
+reporter = get_reporter("repro.tools.fill_experiments")
 
 
 def extract(text: str) -> dict:
@@ -100,15 +105,15 @@ def main() -> int:
     text = experiments.read_text()
     for marker, value in extract(bench).items():
         if value is None:
-            print(f"warning: no value extracted for {marker}")
+            reporter.warning(f"warning: no value extracted for {marker}")
             continue
         text = text.replace(marker, value)
     experiments.write_text(text)
     remaining = re.findall(r"FILL_[A-Z0-9_]+", text)
     if remaining:
-        print("unfilled markers:", sorted(set(remaining)))
+        reporter.info(f"unfilled markers: {sorted(set(remaining))}")
     else:
-        print("all markers filled")
+        reporter.info("all markers filled")
     return 0
 
 

@@ -25,6 +25,9 @@ from repro.experiments.config import TEST_SCALE  # noqa: E402
 from repro.experiments.figure5 import run_figure5  # noqa: E402
 from repro.experiments.figure6 import run_figure6  # noqa: E402
 from repro.experiments.traffic import run_traffic  # noqa: E402
+from repro.obs import get_reporter  # noqa: E402
+
+reporter = get_reporter("repro.tools.regen_fixtures")
 
 FIXTURES = REPO_ROOT / "tests" / "fixtures"
 
@@ -85,7 +88,7 @@ def traffic_fixture() -> dict:
 def write(name: str, payload: dict) -> None:
     path = FIXTURES / name
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {path}")
+    reporter.info(f"wrote {path}")
 
 
 def main() -> int:

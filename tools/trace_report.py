@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Convert a recorded trace JSONL stream into Chrome trace-event JSON.
+
+Reads the ``--trace-out`` output of ``python -m repro.experiments`` (one
+JSON event per line), prints a per-category span/duration summary, and —
+with ``--output`` — writes a JSON document loadable in ``chrome://tracing``
+or https://ui.perfetto.dev::
+
+    PYTHONPATH=src python tools/trace_report.py trace.jsonl --output trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs import (  # noqa: E402
+    category_summary,
+    chrome_trace,
+    configure_logging,
+    format_category_summary,
+    get_reporter,
+)
+
+reporter = get_reporter("repro.tools.trace_report")
+
+
+def load_events(path: Path) -> list:
+    """Parse one trace event per line, skipping blanks."""
+    events = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError as exc:
+                raise SystemExit(
+                    f"{path}:{lineno}: not a JSON trace event ({exc})"
+                )
+    return events
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="trace JSONL file (from --trace-out)")
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write Chrome trace-event JSON here (chrome://tracing)",
+    )
+    parser.add_argument("--log-level", default="info")
+    args = parser.parse_args(argv)
+    configure_logging(args.log_level)
+
+    events = load_events(Path(args.trace))
+    summary = category_summary(events)
+    reporter.info(f"{len(events)} events in {args.trace}")
+    if summary:
+        reporter.info(format_category_summary(summary))
+    if args.output:
+        document = chrome_trace(events)
+        Path(args.output).write_text(
+            json.dumps(document, sort_keys=True) + "\n"
+        )
+        reporter.info(
+            f"chrome trace ({len(document['traceEvents'])} events) -> "
+            f"{args.output}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
