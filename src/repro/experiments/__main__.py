@@ -3,7 +3,8 @@
 Usage::
 
     python -m repro.experiments <experiment> [--scale test|bench|paper]
-                                [--jobs N] [--cache-dir DIR | --no-cache]
+                                [--jobs N] [--shards N|auto]
+                                [--cache-dir DIR | --no-cache]
                                 [--no-timing]
 
 Experiments: table1, figure5, figure6 (6a+6b), figure7, figure8, figure9
@@ -64,6 +65,15 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--shards",
+        default="1",
+        help=(
+            "beaconing shards per series (repro.shard kernel); results are "
+            "byte-identical to --shards 1 for any count. 'auto' picks "
+            "min(cpu count, ISD count of the scale)"
+        ),
+    )
+    parser.add_argument(
         "--cache-dir",
         default=None,
         help=(
@@ -121,6 +131,7 @@ def main(argv=None) -> int:
     scale = get_scale(args.scale)
     configure_logging(args.log_level)
     reporter = get_reporter("repro.experiments")
+    shards = _resolve_shards(args.shards, scale, parser)
 
     collect = bool(args.metrics_out or args.trace_out or args.profile)
     telemetry = Telemetry.collecting(profile=args.profile) if collect else None
@@ -130,7 +141,7 @@ def main(argv=None) -> int:
         if not args.no_cache:
             cache = args.cache_dir if args.cache_dir else default_cache_dir()
         return ExperimentRuntime(
-            jobs=args.jobs, cache=cache, telemetry=telemetry
+            jobs=args.jobs, cache=cache, telemetry=telemetry, shards=shards
         )
 
     runners = {
@@ -171,6 +182,26 @@ def main(argv=None) -> int:
     if telemetry is not None:
         _write_telemetry(telemetry, args, reporter)
     return 0
+
+
+def _resolve_shards(value: str, scale, parser) -> int:
+    """``--shards N|auto`` → a validated shard count.
+
+    ``auto`` caps at the scale's ISD count: the partitioner is ISD-atomic,
+    so more shards than ISDs would only force the degree-balanced
+    fallback without adding parallelism headroom.
+    """
+    import os
+
+    if value == "auto":
+        return max(1, min(os.cpu_count() or 1, scale.num_isds))
+    try:
+        shards = int(value)
+    except ValueError:
+        parser.error(f"--shards must be an integer or 'auto', got {value!r}")
+    if shards < 1:
+        parser.error(f"--shards must be >= 1, got {shards}")
+    return shards
 
 
 def _write_telemetry(telemetry: Telemetry, args, reporter) -> None:

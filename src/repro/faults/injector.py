@@ -301,10 +301,7 @@ class FaultInjector:
         elif event.kind is FaultKind.LINK_UP:
             sim.recover_link(event.target)
         elif event.kind is FaultKind.AS_DOWN:
-            incident = sorted(
-                link.link_id
-                for link in sim.topology.as_node(event.target).links()
-            )
+            incident = sim.topology.incident_link_ids(event.target)
             self.result.beacons_revoked += sim.fail_as(event.target)
             for link_id in incident:
                 self._issue_revocation(link_id)
@@ -336,10 +333,7 @@ class FaultInjector:
             return
         failed = list(self.sim.failed_links())
         for asn in self.sim.failed_ases():
-            failed.extend(
-                link.link_id
-                for link in self.sim.topology.as_node(asn).links()
-            )
+            failed.extend(self.sim.topology.incident_link_ids(asn))
         for link_id in sorted(set(failed)):
             if not self.revocations.is_revoked(link_id, self.sim.now):
                 self._issue_revocation(link_id)

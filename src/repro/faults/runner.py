@@ -90,6 +90,14 @@ class FaultTask:
     telemetry: bool = False
     #: Also run the sampling profiler (wall-clock; non-deterministic).
     profile: bool = False
+    #: Run the beaconing through the sharded kernel (``repro.shard``)
+    #: when > 1. Lives on the task, not the spec: sharded runs are
+    #: byte-identical to single-process by contract, so the shard count
+    #: must not change where a result is cached.
+    shards: int = 1
+    #: Give each shard its own worker process (coordinator policy: only
+    #: when the runtime isn't already fanned out across ``--jobs``).
+    shard_processes: bool = False
 
 
 @dataclass
@@ -141,9 +149,23 @@ def execute_fault_run(task: FaultTask) -> FaultOutcome:
         )
 
     start = time.perf_counter()
-    sim = BeaconingSimulation(
-        topology, spec.algorithm_factory(), spec.config, obs=tel
-    )
+    if task.shards > 1:
+        # Imported lazily: single-process runs must not depend on the
+        # sharded kernel.
+        from ..shard import ShardedBeaconing
+
+        sim = ShardedBeaconing(
+            topology,
+            spec.algorithm_factory(),
+            spec.config,
+            shards=task.shards,
+            processes=task.shard_processes,
+            obs=tel,
+        )
+    else:
+        sim = BeaconingSimulation(
+            topology, spec.algorithm_factory(), spec.config, obs=tel
+        )
     revocations = (
         RevocationService(topology) if spec.account_revocations else None
     )
@@ -157,6 +179,10 @@ def execute_fault_run(task: FaultTask) -> FaultOutcome:
         obs=tel,
     )
     result = injector.run()
+    if task.shards > 1:
+        # Stops shard workers and (in process mode) merges their metric
+        # registries into ``tel`` before the snapshot below.
+        sim.close()
     timings["run"] = time.perf_counter() - start
 
     if cache is not None and result_key is not None:

@@ -47,6 +47,8 @@ class RunReport:
     experiment: str = ""
     scale: str = ""
     jobs: int = 1
+    #: Beaconing shard count the run was configured with (``--shards``).
+    shards: int = 1
     phases: List[PhaseRecord] = field(default_factory=list)
     started_at: float = field(default_factory=time.time)
     #: Run-level aggregates folded in from the telemetry registry
@@ -108,6 +110,7 @@ class RunReport:
             "experiment": self.experiment,
             "scale": self.scale,
             "jobs": self.jobs,
+            "shards": self.shards,
             "started_at": datetime.fromtimestamp(
                 self.started_at, tz=timezone.utc
             ).isoformat(),

@@ -28,7 +28,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
-from ..obs import Telemetry
+from ..obs import Telemetry, get_reporter
 from ..topology.model import Topology
 from .cache import ExperimentCache, stable_key, topology_fingerprint
 from .instrument import RunReport
@@ -59,16 +59,37 @@ class ExperimentRuntime:
         cache: Union[ExperimentCache, os.PathLike, str, None] = None,
         report: Optional[RunReport] = None,
         telemetry: Optional[Telemetry] = None,
+        shards: int = 1,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         self.jobs = jobs
+        #: Beaconing shard count for every series/fault run. Sharded runs
+        #: are byte-identical to single-process runs by contract, so this
+        #: changes wall time only — never results or cache keys.
+        self.shards = shards
+        #: Process-per-shard only when the runtime itself is not already
+        #: fanned out: inside pool workers the shards run in-process
+        #: lockstep (same bytes, no process explosion).
+        self.shard_processes = shards > 1 and jobs == 1
+        if shards > 1 and jobs > 1:
+            cpus = os.cpu_count() or 1
+            if jobs * shards > cpus:
+                get_reporter("repro.runtime").warning(
+                    f"--jobs {jobs} x --shards {shards} wants "
+                    f"{jobs * shards} workers on {cpus} CPUs; shards will "
+                    f"run in-process inside each job (no oversubscription, "
+                    f"but no shard speedup either)"
+                )
         if cache is None or isinstance(cache, ExperimentCache):
             self.cache = cache
         else:
             self.cache = ExperimentCache(cache)
         self.report = report if report is not None else RunReport(jobs=jobs)
         self.report.jobs = jobs
+        self.report.shards = shards
         #: When set (and enabled), workers collect per-task registries and
         #: trace streams that are merged back here — commutatively, in task
         #: order — so ``--jobs N`` snapshots match ``--jobs 1`` byte for
@@ -159,6 +180,8 @@ class ExperimentRuntime:
                         topology=topology,
                         telemetry=telemetry,
                         profile=profile,
+                        shards=self.shards,
+                        shard_processes=self.shard_processes,
                     )
                 )
             else:
@@ -169,6 +192,8 @@ class ExperimentRuntime:
                         topology_key=topology_key,
                         telemetry=telemetry,
                         profile=profile,
+                        shards=self.shards,
+                        shard_processes=self.shard_processes,
                     )
                 )
         workers = min(self.jobs, len(prepared))
@@ -273,6 +298,8 @@ class ExperimentRuntime:
                 topology=topology,
                 telemetry=telemetry,
                 profile=profile,
+                shards=self.shards,
+                shard_processes=self.shard_processes,
             )
         return SeriesTask(
             spec=spec,
@@ -280,6 +307,8 @@ class ExperimentRuntime:
             topology_key=topology_key,
             telemetry=telemetry,
             profile=profile,
+            shards=self.shards,
+            shard_processes=self.shard_processes,
         )
 
     def _record(self, outcome: SeriesOutcome) -> None:

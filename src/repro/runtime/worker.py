@@ -121,6 +121,14 @@ class SeriesTask:
     telemetry: bool = False
     #: Also run the sampling profiler (wall-clock; non-deterministic).
     profile: bool = False
+    #: Run the beaconing through the sharded kernel (``repro.shard``)
+    #: when > 1. Lives on the task, not the spec, for the same reason as
+    #: ``telemetry``: sharding is byte-identical to single-process by
+    #: contract, so it must not change cache keys or results.
+    shards: int = 1
+    #: Give each shard its own worker process (coordinator policy: only
+    #: when the runtime isn't already fanned out across ``--jobs``).
+    shard_processes: bool = False
 
 
 @dataclass
@@ -203,21 +211,73 @@ def execute_series(task: SeriesTask) -> SeriesOutcome:
 
     # --- warm-up (or full run), snapshot-cached ---------------------------
     start = time.perf_counter()
+    sharded = task.shards > 1
+    plan = None
+    shard_keys: Optional[List[str]] = None
+    if sharded:
+        # Imported lazily: repro.shard imports the simulation package, and
+        # single-process runs must not pay for (or depend on) the kernel.
+        from ..shard import ShardedBeaconing, partition_topology
+
+        plan = partition_topology(topology, task.shards)
+        if snapshot_key is not None:
+            # Warm state is cached per shard: each shard's simulation
+            # pickles under its own key derived from the single-process
+            # snapshot key, so different shard counts never mix states.
+            shard_keys = [
+                stable_key("shard-sim", snapshot_key, plan.num_shards, index)
+                for index in range(plan.num_shards)
+            ]
+
+    def build_sim(states=None):
+        if sharded:
+            return ShardedBeaconing(
+                topology,
+                spec.algorithm_factory(),
+                spec.config,
+                plan=plan,
+                processes=task.shard_processes,
+                initial_states=states,
+            )
+        return BeaconingSimulation(
+            topology, spec.algorithm_factory(), spec.config
+        )
+
+    def store_sim(sim) -> None:
+        if cache is None or snapshot_key is None:
+            return
+        if sharded:
+            for key, state in zip(shard_keys, sim.snapshot_states()):
+                cache.store(key, state)
+        else:
+            cache.store(snapshot_key, sim)
+
     sim: Optional[BeaconingSimulation] = None
     if cache is not None and snapshot_key is not None:
-        hit, cached_sim = cache.load(snapshot_key)
-        if hit:
-            sim = cached_sim
-            outcome.warmup_cached = True
+        if sharded:
+            states: Optional[list] = []
+            for key in shard_keys:
+                hit, state = cache.load(key)
+                if not hit:
+                    # All-or-nothing: a partial set of shard snapshots
+                    # rebuilds from scratch rather than mixing epochs.
+                    states = None
+                    break
+                states.append(state)
+            if states is not None:
+                sim = build_sim(states)
+                outcome.warmup_cached = True
+        else:
+            hit, cached_sim = cache.load(snapshot_key)
+            if hit:
+                sim = cached_sim
+                outcome.warmup_cached = True
     if spec.warmup_intervals:
         if sim is None:
-            sim = BeaconingSimulation(
-                topology, spec.algorithm_factory(), spec.config
-            )
+            sim = build_sim()
             sim.run_intervals(spec.warmup_intervals)
             sim.reset_metrics()
-            if cache is not None and snapshot_key is not None:
-                cache.store(snapshot_key, sim)
+            store_sim(sim)
         timings["warmup"] = time.perf_counter() - start
         # Telemetry attaches after the warm-up (cached or not), so only
         # the measured window is observed — identically on both paths.
@@ -228,14 +288,11 @@ def execute_series(task: SeriesTask) -> SeriesOutcome:
         timings["measure"] = time.perf_counter() - start
     else:
         if sim is None:
-            sim = BeaconingSimulation(
-                topology, spec.algorithm_factory(), spec.config
-            )
+            sim = build_sim()
             if tel is not None:
                 sim.attach_telemetry(tel)
             sim.run()
-            if cache is not None and snapshot_key is not None:
-                cache.store(snapshot_key, sim)
+            store_sim(sim)
         timings["measure"] = time.perf_counter() - start
 
     outcome.intervals_run = sim.intervals_run
@@ -259,6 +316,11 @@ def execute_series(task: SeriesTask) -> SeriesOutcome:
         )
     timings["analyze"] = time.perf_counter() - start
 
+    if sharded:
+        # Stops shard workers and (in process mode) merges their metric
+        # registries into ``tel`` — before the snapshot below, so sharded
+        # telemetry is byte-identical to single-process telemetry.
+        sim.close()
     if tel is not None:
         tel.export_profile()
         outcome.metrics = tel.metrics.snapshot()

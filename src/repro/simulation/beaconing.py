@@ -139,6 +139,12 @@ class BeaconingSimulation:
     #: snapshots (and fresh ones without an attached bundle) are no-ops.
     obs: Telemetry = NULL_TELEMETRY
 
+    #: Whether :meth:`step` emits the per-interval trace span and the
+    #: ``beaconing.intervals`` counter. Shard workers set this False — the
+    #: shard coordinator emits them exactly once per *global* interval so
+    #: sharded and single-process telemetry stay byte-identical.
+    _interval_telemetry: bool = True
+
     def __init__(
         self,
         topology: Topology,
@@ -248,13 +254,17 @@ class BeaconingSimulation:
         bytes_before = self.metrics.total_bytes
         lost_before = self.pcbs_lost
         mode = self.config.mode.value
-        with obs.trace.span(
-            "beaconing", "interval", mode=mode, interval=self.intervals_run
-        ):
+        if self._interval_telemetry:
+            with obs.trace.span(
+                "beaconing", "interval", mode=mode, interval=self.intervals_run
+            ):
+                self._step_inner()
+        else:
             self._step_inner()
         labels = {"mode": mode}
         metrics = obs.metrics
-        metrics.counter("beaconing.intervals", labels).inc()
+        if self._interval_telemetry:
+            metrics.counter("beaconing.intervals", labels).inc()
         metrics.counter("beaconing.pcbs_disseminated", labels).inc(
             self.metrics.total_pcbs - pcbs_before
         )
@@ -318,10 +328,17 @@ class BeaconingSimulation:
         Returns the number of beacons revoked.
         """
         self.topology.link(link_id)  # validate the id
-        self._failed_links.add(link_id)
         self.obs.trace.instant(
             "beaconing", "fail_link", link_id=link_id, interval=self.intervals_run
         )
+        return self._fail_link_impl(link_id)
+
+    def _fail_link_impl(self, link_id: int) -> int:
+        """Validation-free core of :meth:`fail_link`. Shard workers apply
+        remote failures through this path — the link may not exist in the
+        worker's halo topology, but stored beacons crossing it still must
+        be revoked everywhere."""
+        self._failed_links.add(link_id)
         revoked = 0
         for server in self.servers.values():
             revoked += server.store.remove_crossing(link_id)
@@ -342,11 +359,14 @@ class BeaconingSimulation:
         the origins, one interval per AS hop).
         """
         self.topology.link(link_id)  # validate the id
-        self._failed_links.discard(link_id)
         self.obs.trace.instant(
             "beaconing", "recover_link", link_id=link_id,
             interval=self.intervals_run,
         )
+        self._recover_link_impl(link_id)
+
+    def _recover_link_impl(self, link_id: int) -> None:
+        self._failed_links.discard(link_id)
         self._refresh_egress()
 
     def fail_as(self, asn: int) -> int:
@@ -358,11 +378,16 @@ class BeaconingSimulation:
         whose path visits the AS are revoked everywhere — each of its
         links is effectively failed. Returns the number of beacons revoked.
         """
-        node = self.topology.as_node(asn)
+        self.topology.as_node(asn)  # validate the asn
+        return self._fail_as_impl(asn, self.topology.incident_link_ids(asn))
+
+    def _fail_as_impl(self, asn: int, incident: Sequence[int]) -> int:
+        """Validation-free core of :meth:`fail_as`. ``incident`` is the
+        failed AS's incident link-id set, supplied by the caller because a
+        shard worker's halo topology may not contain the AS at all."""
         if asn in self._failed_ases:
             return 0
         self._failed_ases.add(asn)
-        incident = sorted(link.link_id for link in node.links())
         revoked = 0
         for server in self.servers.values():
             if server.asn == asn:
@@ -389,6 +414,9 @@ class BeaconingSimulation:
         unless individually failed.
         """
         self.topology.as_node(asn)  # validate the asn
+        self._recover_as_impl(asn)
+
+    def _recover_as_impl(self, asn: int) -> None:
         if asn not in self._failed_ases:
             return
         self._failed_ases.discard(asn)

@@ -72,6 +72,43 @@ class TrafficMetrics:
         self.total_pcbs += 1
         self.total_bytes += size
 
+    def merge(self, other: "TrafficMetrics") -> None:
+        """Fold another window's counters into this one (commutative).
+
+        Interface and receiver accounting are plain sums, so per-shard
+        metrics merged in any order equal the single-process totals —
+        :meth:`record` updates both the sending interface and the
+        receiver at send time, in the sending shard.
+        """
+        for key, stats in other._interfaces.items():
+            mine = self._interfaces.get(key)
+            if mine is None:
+                mine = InterfaceStats()
+                self._interfaces[key] = mine
+            mine.pcbs += stats.pcbs
+            mine.bytes += stats.bytes
+        for asn, value in other._received_bytes.items():
+            self._received_bytes[asn] = self._received_bytes.get(asn, 0) + value
+        for asn, value in other._received_pcbs.items():
+            self._received_pcbs[asn] = self._received_pcbs.get(asn, 0) + value
+        self.total_pcbs += other.total_pcbs
+        self.total_bytes += other.total_bytes
+
+    def canonicalize(self) -> None:
+        """Rebuild internal tables in sorted-key order so a merged object
+        iterates (and serialises) identically to a single-process one."""
+        self._interfaces = {
+            key: self._interfaces[key] for key in sorted(self._interfaces)
+        }
+        self._received_bytes = {
+            asn: self._received_bytes[asn]
+            for asn in sorted(self._received_bytes)
+        }
+        self._received_pcbs = {
+            asn: self._received_pcbs[asn]
+            for asn in sorted(self._received_pcbs)
+        }
+
     # ------------------------------------------------------------- queries
 
     def interface_stats(self, link_id: int, sender: int) -> InterfaceSnapshot:

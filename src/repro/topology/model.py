@@ -151,6 +151,10 @@ class Topology:
         self._adjacency: Dict[int, Dict[int, List[Link]]] = {}
         self._next_link_id = 1
         self._next_ifid: Dict[int, int] = {}
+        # Lazy per-AS indexes (neighbor sets, incident link ids), rebuilt
+        # on demand after any mutation touching the AS.
+        self._neighbor_cache: Dict[int, frozenset] = {}
+        self._incident_cache: Dict[int, Tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------ ASes
 
@@ -252,6 +256,7 @@ class Topology:
         self._ases[b_asn].interfaces[b_ifid] = link
         self._adjacency[a_asn].setdefault(b_asn, []).append(link)
         self._adjacency[b_asn].setdefault(a_asn, []).append(link)
+        self._invalidate_indexes(a_asn, b_asn)
         return link
 
     def _allocate_ifid(self, asn: int) -> int:
@@ -277,6 +282,40 @@ class Topology:
     def neighbors(self, asn: int) -> List[int]:
         """Neighboring ASes (each listed once, however many parallel links)."""
         return list(self._adjacency.get(asn, {}))
+
+    def neighbor_set(self, asn: int) -> frozenset:
+        """Cached frozen set of neighboring ASes.
+
+        The shard partitioner and fault injector walk adjacency a lot;
+        this avoids re-materialising the neighbor list per query. The
+        cache entry is dropped whenever a link or AS mutation touches
+        ``asn``.
+        """
+        cached = self._neighbor_cache.get(asn)
+        if cached is None:
+            cached = frozenset(self._adjacency.get(asn, {}))
+            self._neighbor_cache[asn] = cached
+        return cached
+
+    def incident_link_ids(self, asn: int) -> Tuple[int, ...]:
+        """Cached sorted tuple of link ids incident to ``asn``.
+
+        Replaces the ad-hoc ``sorted(l.link_id for l in node.links())``
+        scans in the fault injector and AS-failure handling.
+        """
+        cached = self._incident_cache.get(asn)
+        if cached is None:
+            node = self.as_node(asn)
+            cached = tuple(
+                sorted(link.link_id for link in node.interfaces.values())
+            )
+            self._incident_cache[asn] = cached
+        return cached
+
+    def _invalidate_indexes(self, *asns: int) -> None:
+        for asn in asns:
+            self._neighbor_cache.pop(asn, None)
+            self._incident_cache.pop(asn, None)
 
     def degree(self, asn: int) -> int:
         """Link (interface) degree — parallel links count individually."""
@@ -324,6 +363,7 @@ class Topology:
             bucket.remove(link)
             if not bucket:
                 del self._adjacency[near][far]
+        self._invalidate_indexes(link.a.asn, link.b.asn)
 
     def remove_as(self, asn: int) -> None:
         node = self.as_node(asn)
@@ -332,6 +372,7 @@ class Topology:
         del self._ases[asn]
         del self._adjacency[asn]
         del self._next_ifid[asn]
+        self._invalidate_indexes(asn)
 
     # -------------------------------------------------------------- exports
 
@@ -415,6 +456,13 @@ class Topology:
                         f"AS {asn} interface {ifid} references stale link "
                         f"{link.link_id}"
                     )
+
+    def __setstate__(self, state: dict) -> None:
+        # Topologies pickled before the lazy index caches existed (warm
+        # caches from older runs) must still unpickle cleanly.
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_neighbor_cache", {})
+        self.__dict__.setdefault("_incident_cache", {})
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

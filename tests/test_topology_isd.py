@@ -139,12 +139,16 @@ class TestAssignIsds:
             assert node.isd in (1, 2)
 
     def test_isd_sizes_roughly_balanced(self):
+        # 4x rather than a tighter bound: the assignment guarantees every
+        # ISD is internally connected, and heavy-tailed meshes contain
+        # peninsulas reachable through one cut AS that no connectivity-
+        # preserving partition can balance further.
         topo = generate_core_mesh(60, seed=5)
         mapping = assign_isds(topo, 6)
         from collections import Counter
 
         sizes = Counter(mapping.values())
-        assert max(sizes.values()) <= 3 * min(sizes.values())
+        assert max(sizes.values()) <= 4 * min(sizes.values())
 
     def test_rejects_bad_counts(self):
         topo = generate_core_mesh(5, seed=6)
@@ -152,6 +156,75 @@ class TestAssignIsds:
             assign_isds(topo, 0)
         with pytest.raises(ValueError):
             assign_isds(topo, 10)
+
+
+class TestIsdInvariants:
+    """Property tests for the ISD-assignment invariants the sharded
+    beaconing kernel's partitioner builds on (see ``repro.shard``)."""
+
+    def _topologies(self):
+        for seed in (3, 5, 11):
+            yield generate_core_mesh(30, seed=seed), 3
+        internet = generate_internet(
+            InternetGeneratorConfig(num_ases=300, seed=17)
+        )
+        yield prune_to_highest_degree(internet, 80), 8
+
+    def test_every_as_in_exactly_one_isd(self):
+        for topo, num_isds in self._topologies():
+            mapping = assign_isds(topo, num_isds)
+            assert set(mapping) == set(topo.asns())
+            for asn in topo.asns():
+                assert topo.as_node(asn).isd == mapping[asn]
+            assert len(set(mapping.values())) == num_isds
+
+    def test_isd_members_mutually_reachable_within_isd(self):
+        # Connected input => every ISD's induced subgraph is connected:
+        # members reach each other without leaving the ISD.
+        for topo, num_isds in self._topologies():
+            assert topo.is_connected()
+            mapping = assign_isds(topo, num_isds)
+            for isd in set(mapping.values()):
+                members = [a for a, i in mapping.items() if i == isd]
+                sub = topo.subtopology(members, name=f"isd-{isd}")
+                assert sub.is_connected(), (
+                    f"ISD {isd} disconnected ({len(members)} members)"
+                )
+
+    def test_boundary_links_symmetric(self):
+        # Boundary enumeration is direction-independent: the cross-ISD
+        # links seen from A's side are exactly those seen from B's side.
+        for topo, num_isds in self._topologies():
+            mapping = assign_isds(topo, num_isds)
+            from_lower = set()
+            from_upper = set()
+            for asn in topo.asns():
+                for neighbor in topo.neighbor_set(asn):
+                    if mapping[asn] == mapping[neighbor]:
+                        continue
+                    links = {
+                        link.link_id
+                        for link in topo.links_between(asn, neighbor)
+                    }
+                    if asn < neighbor:
+                        from_lower |= links
+                    else:
+                        from_upper |= links
+            assert from_lower == from_upper
+            assert from_lower  # multi-ISD partitions always have a boundary
+
+    def test_balance_on_internet_core(self):
+        # Realistic (CAIDA-like) cores are richly connected; there the
+        # partition balances tightly as well as staying connected.
+        internet = generate_internet(
+            InternetGeneratorConfig(num_ases=300, seed=17)
+        )
+        core = prune_to_highest_degree(internet, 80)
+        mapping = assign_isds(core, 8)
+        from collections import Counter
+
+        sizes = Counter(mapping.values())
+        assert max(sizes.values()) <= 2 * min(sizes.values())
 
 
 class TestPromoteCoreLinks:

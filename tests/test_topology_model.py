@@ -203,3 +203,64 @@ class TestExports:
 
     def test_validate_passes_on_consistent_topology(self, triangle):
         triangle.validate()
+
+
+class TestAdjacencyIndexes:
+    """The cached per-AS indexes the shard partitioner and fault
+    injector query (``neighbor_set`` / ``incident_link_ids``)."""
+
+    def test_neighbor_set_matches_neighbors(self, triangle):
+        for asn in triangle.asns():
+            assert triangle.neighbor_set(asn) == set(triangle.neighbors(asn))
+
+    def test_neighbor_set_is_cached(self, triangle):
+        first = triangle.neighbor_set(1)
+        assert triangle.neighbor_set(1) is first  # same frozen object
+
+    def test_incident_link_ids_sorted_and_cached(self, triangle):
+        ids = triangle.incident_link_ids(2)
+        assert list(ids) == sorted(
+            link.link_id for link in triangle.as_node(2).links()
+        )
+        assert triangle.incident_link_ids(2) is ids
+
+    def test_add_link_invalidates_both_endpoints(self, triangle):
+        before_1 = triangle.neighbor_set(1)
+        triangle.add_as(4)
+        link = triangle.add_link(1, 4, Relationship.PEER_PEER)
+        assert triangle.neighbor_set(1) == before_1 | {4}
+        assert link.link_id in triangle.incident_link_ids(1)
+        assert triangle.neighbor_set(4) == {1}
+
+    def test_remove_link_invalidates_both_endpoints(self, triangle):
+        link = triangle.links_between(2, 3)[0]
+        triangle.neighbor_set(2), triangle.incident_link_ids(3)  # warm
+        triangle.remove_link(link.link_id)
+        assert 3 not in triangle.neighbor_set(2)
+        assert link.link_id not in triangle.incident_link_ids(3)
+
+    def test_remove_as_invalidates_former_neighbors(self, triangle):
+        triangle.neighbor_set(1), triangle.incident_link_ids(1)  # warm
+        triangle.remove_as(3)
+        assert triangle.neighbor_set(1) == {2}
+        assert len(triangle.incident_link_ids(1)) == 1
+
+    def test_parallel_links_counted_once_in_neighbors(self):
+        topo = Topology()
+        topo.add_as(1)
+        topo.add_as(2)
+        topo.add_link(1, 2, Relationship.PEER_PEER)
+        topo.add_link(1, 2, Relationship.PEER_PEER)
+        assert topo.neighbor_set(1) == {2}
+        assert len(topo.incident_link_ids(1)) == 2
+
+    def test_pickle_round_trip_rebuilds_indexes(self, triangle):
+        import pickle
+
+        triangle.neighbor_set(1)  # warm the cache before pickling
+        clone = pickle.loads(pickle.dumps(triangle))
+        assert clone.neighbor_set(1) == triangle.neighbor_set(1)
+        clone.add_as(9)
+        clone.add_link(1, 9, Relationship.PEER_PEER)
+        assert 9 in clone.neighbor_set(1)
+        assert 9 not in triangle.neighbor_set(1)

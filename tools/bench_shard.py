@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Shard-scaling benchmark: beaconing wall time at 1/2/4 shards.
+
+Runs one core-beaconing workload through the single-process
+:class:`~repro.simulation.beaconing.BeaconingSimulation` and through the
+sharded kernel (:mod:`repro.shard`) at increasing shard counts, asserts
+the determinism contract (identical interface statistics at every shard
+count), and appends one ``shard_scaling`` entry to the
+``BENCH_smoke.json`` trajectory::
+
+    PYTHONPATH=src python tools/bench_shard.py [--ases N] [--intervals N]
+                                               [--shards 1,2,4]
+                                               [--output FILE] [--label TEXT]
+
+``tools/check_bench_regression.py`` gates the recorded 4-shard speedup in
+CI; the entry carries the host's effective core count so the gate can
+skip on machines with fewer cores than shards (process-per-shard cannot
+beat serial on one core).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs import configure_logging, get_reporter  # noqa: E402
+from repro.shard import ShardedBeaconing, partition_topology  # noqa: E402
+from repro.simulation.beaconing import (  # noqa: E402
+    BeaconingConfig,
+    BeaconingSimulation,
+    diversity_factory,
+)
+from repro.topology import assign_isds, generate_core_mesh  # noqa: E402
+
+reporter = get_reporter("repro.tools.bench_shard")
+
+
+def host_fingerprint() -> str:
+    """Same coarse hardware tag as ``bench_smoke.py`` — entries from
+    different machines are never compared against each other."""
+    return f"{platform.machine()}-cpu{os.cpu_count() or 0}"
+
+
+def build_workload(num_ases: int, num_isds: int, seed: int):
+    """A connected core mesh tagged with ISDs, so the partitioner runs
+    its ISD-atomic strategy exactly as it would on the paper topologies."""
+    topology = generate_core_mesh(num_ases, mean_degree=4.0, seed=seed)
+    assign_isds(topology, num_isds)
+    return topology
+
+
+def run_once(topology, config: BeaconingConfig, shards: int) -> dict:
+    """One timed run; returns wall seconds plus the determinism digest."""
+    factory = diversity_factory(5)
+    start = time.perf_counter()
+    if shards == 1:
+        sim = BeaconingSimulation(topology, factory, config)
+        sim.run()
+        wall = time.perf_counter() - start
+        digest = sim.metrics.interfaces()
+    else:
+        plan = partition_topology(topology, shards)
+        sim = ShardedBeaconing(
+            topology, factory, config, plan=plan, processes=True
+        )
+        try:
+            sim.run()
+            wall = time.perf_counter() - start
+            digest = sim.metrics.interfaces()
+        finally:
+            sim.close()
+    return {
+        "wall_seconds": wall,
+        "digest": digest,
+        "total_pcbs": sim.metrics.total_pcbs,
+    }
+
+
+def run_scaling(
+    topology, config: BeaconingConfig, shard_counts: list
+) -> dict:
+    timings = {}
+    reference_digest = None
+    total_pcbs = 0
+    for shards in shard_counts:
+        result = run_once(topology, config, shards)
+        if reference_digest is None:
+            reference_digest = result["digest"]
+            total_pcbs = result["total_pcbs"]
+        elif result["digest"] != reference_digest:
+            raise SystemExit(
+                f"determinism contract violated at {shards} shards: "
+                f"interface statistics differ from the 1-shard run"
+            )
+        timings[str(shards)] = round(result["wall_seconds"], 3)
+        reporter.info(
+            f"  shards={shards}: {result['wall_seconds']:.2f}s "
+            f"({result['total_pcbs']} PCBs)"
+        )
+    base = timings[str(shard_counts[0])]
+    speedups = {
+        count: round(base / seconds, 3) if seconds > 0 else 0.0
+        for count, seconds in timings.items()
+        if count != str(shard_counts[0])
+    }
+    return {
+        "ases": topology.num_ases,
+        "links": topology.num_links,
+        "intervals": config.num_intervals,
+        "total_pcbs": total_pcbs,
+        "timings": timings,
+        "speedups": speedups,
+    }
+
+
+def append_trajectory(output: Path, entry: dict) -> None:
+    history = []
+    if output.exists():
+        try:
+            history = json.loads(output.read_text())
+        except (ValueError, OSError):
+            history = []
+        if not isinstance(history, list):
+            history = [history]
+    history.append(entry)
+    output.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ases", type=int, default=48)
+    parser.add_argument(
+        "--isds", type=int, default=4,
+        help="ISD count of the generated mesh (partitioner granularity)",
+    )
+    parser.add_argument("--intervals", type=int, default=24)
+    parser.add_argument(
+        "--shards", default="1,2,4",
+        help="comma-separated shard counts; first is the reference",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--output", default=str(ROOT / "BENCH_smoke.json"),
+        help="trajectory file to append to",
+    )
+    parser.add_argument(
+        "--label", default="", help="free-form tag stored with the entry"
+    )
+    parser.add_argument("--log-level", default="info")
+    args = parser.parse_args(argv)
+    configure_logging(args.log_level)
+
+    shard_counts = [int(part) for part in args.shards.split(",") if part]
+    if not shard_counts or any(count < 1 for count in shard_counts):
+        raise SystemExit(f"invalid --shards {args.shards!r}")
+
+    cores = os.cpu_count() or 1
+    reporter.info(
+        f"shard scaling: {args.ases} ASes / {args.isds} ISDs, "
+        f"{args.intervals} intervals, shards {shard_counts} "
+        f"({cores} cores)"
+    )
+    topology = build_workload(args.ases, args.isds, args.seed)
+    config = BeaconingConfig(
+        interval=600.0,
+        duration=args.intervals * 600.0,
+        pcb_lifetime=args.intervals * 600.0,
+        storage_limit=40,
+    )
+    started = time.time()
+    scaling = run_scaling(topology, config, shard_counts)
+    entry = {
+        "timestamp": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime(started)
+        ),
+        "label": args.label,
+        "machine": host_fingerprint(),
+        "cores": cores,
+        "python": platform.python_version(),
+        "shard_scaling": scaling,
+    }
+    append_trajectory(Path(args.output), entry)
+    for count, speedup in sorted(scaling["speedups"].items()):
+        reporter.info(f"  speedup at {count} shards: {speedup:.2f}x")
+    reporter.info(f"appended shard_scaling entry to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

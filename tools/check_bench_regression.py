@@ -8,9 +8,15 @@ against the best prior telemetry-off entry from the *same host
 fingerprint* (``machine`` field). Entries from other machines are never
 compared — CI runners and laptops are different hardware.
 
+Also gates shard-scaling entries (as appended by ``tools/bench_shard.py``):
+the latest ``shard_scaling`` entry must show at least ``--shard-speedup``
+(default 1.8x) at 4 shards — skipped when the recording host had fewer
+than 4 cores, where process-per-shard cannot beat serial.
+
 Exit status: 1 when throughput dropped more than ``--threshold`` (default
-10%) below the baseline; 0 otherwise, including when there is no prior
-same-machine baseline yet (the first run on a runner just records one)::
+10%) below the baseline or the shard speedup is under the floor; 0
+otherwise, including when there is no prior same-machine baseline yet
+(the first run on a runner just records one)::
 
     python tools/check_bench_regression.py BENCH_smoke.json [--threshold 0.10]
 """
@@ -74,6 +80,40 @@ def check(history: list, threshold: float) -> int:
     return 0 if latest_pps >= floor else 1
 
 
+def check_shard_scaling(
+    history: list, min_speedup: float, min_cores: int = 4
+) -> int:
+    """Gate the latest ``shard_scaling`` entry (``tools/bench_shard.py``).
+
+    The 4-shard run must reach ``min_speedup`` over the 1-shard reference.
+    Hosts with fewer than ``min_cores`` effective cores skip the gate —
+    there the sharded run pays process and plane overhead with no
+    parallelism to earn it back, and the entry only records the trend.
+    """
+    candidates = [e for e in history if "shard_scaling" in e]
+    if not candidates:
+        reporter.info("no shard_scaling entries; nothing to check")
+        return 0
+    latest = candidates[-1]
+    cores = int(latest.get("cores", 0))
+    if cores < min_cores:
+        reporter.info(
+            f"shard scaling recorded on a {cores}-core host (< {min_cores}); "
+            f"speedup gate skipped"
+        )
+        return 0
+    speedup = latest["shard_scaling"].get("speedups", {}).get("4")
+    if speedup is None:
+        reporter.info("latest shard_scaling entry has no 4-shard run; skipped")
+        return 0
+    verdict = "OK" if speedup >= min_speedup else "REGRESSION"
+    reporter.info(
+        f"shard scaling: {speedup:.2f}x at 4 shards on {cores} cores "
+        f"(floor {min_speedup:.2f}x): {verdict}"
+    )
+    return 0 if speedup >= min_speedup else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("trajectory", help="BENCH_smoke.json path")
@@ -82,6 +122,12 @@ def main(argv=None) -> int:
         type=float,
         default=0.10,
         help="max tolerated fractional drop vs the best prior entry",
+    )
+    parser.add_argument(
+        "--shard-speedup",
+        type=float,
+        default=1.8,
+        help="min 4-shard speedup over 1 shard (hosts with >= 4 cores)",
     )
     parser.add_argument("--log-level", default="info")
     args = parser.parse_args(argv)
@@ -97,7 +143,9 @@ def main(argv=None) -> int:
         raise SystemExit(f"{path}: not valid JSON ({exc})")
     if not isinstance(history, list):
         history = [history]
-    return check(history, args.threshold)
+    status = check(history, args.threshold)
+    shard_status = check_shard_scaling(history, args.shard_speedup)
+    return status or shard_status
 
 
 if __name__ == "__main__":
