@@ -34,11 +34,15 @@ from .segments import PathSegment, SegmentType
 __all__ = ["ScionNetwork"]
 
 
-def _factory(algorithm: str, params: Optional[DiversityParams]) -> AlgorithmFactory:
+def _factory(
+    algorithm: str,
+    params: Optional[DiversityParams],
+    backend: str = "python",
+) -> AlgorithmFactory:
     if algorithm == "baseline":
         return baseline_factory()
     if algorithm == "diversity":
-        return diversity_factory(params=params)
+        return diversity_factory(params=params, kernel=backend)
     raise ValueError(f"unknown algorithm {algorithm!r}; use baseline|diversity")
 
 
@@ -60,13 +64,17 @@ class ScionNetwork:
         intra_config: Optional[BeaconingConfig] = None,
         registration_limit: int = 5,
         obs: Optional[Telemetry] = None,
+        backend: str = "python",
     ) -> None:
         self.topology = topology
         self.algorithm = algorithm
         self.registration_limit = registration_limit
         self.obs = obs if obs is not None else NULL_TELEMETRY
+        #: Kernel backend name the beaconing algorithms score through
+        #: (``repro.kernels``) — byte-identical results by contract.
+        self.backend = backend
         self.log = ControlMessageLog()
-        self._factory = _factory(algorithm, params)
+        self._factory = _factory(algorithm, params, backend)
         self.core_config = core_config or BeaconingConfig(
             mode=BeaconingMode.CORE
         )

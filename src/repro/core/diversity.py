@@ -71,6 +71,10 @@ class DiversityAlgorithm(PathConstructionAlgorithm):
 
     name = "diversity"
 
+    #: Class-level default so algorithm objects restored from pre-kernel
+    #: warm snapshots score through the reference backend.
+    kernel = None
+
     def __init__(
         self,
         asn: int,
@@ -79,17 +83,37 @@ class DiversityAlgorithm(PathConstructionAlgorithm):
         dissemination_limit: int = 5,
         params: Optional[DiversityParams] = None,
         per_interface_limit: bool = False,
+        kernel=None,
     ) -> None:
         """``per_interface_limit`` is an ablation knob: apply the
         dissemination limit per egress interface (like the baseline)
         instead of per neighbor AS, quantifying the redundancy the paper's
-        per-neighbor grouping avoids on parallel links (DESIGN.md #3)."""
+        per-neighbor grouping avoids on parallel links (DESIGN.md #3).
+
+        ``kernel`` selects the candidate-scoring backend (a
+        :class:`~repro.kernels.KernelBackend`, a registry name, or None
+        for the reference backend); every backend scores bit-identically
+        by contract."""
         super().__init__(asn, topology, dissemination_limit=dissemination_limit)
         self.params = params or DiversityParams()
         self.params.validate()
         self.per_interface_limit = per_interface_limit
+        # Imported lazily: repro.kernels reaches the dataplane package,
+        # whose import chain leads back into this module.
+        from ..kernels import resolve_backend
+
+        self.kernel = resolve_backend(kernel)
         self.history = LinkHistory()
         self.sent = SentRegistry()
+
+    def _kernel(self):
+        """The scoring backend, tolerating pre-kernel pickled instances."""
+        kernel = self.kernel
+        if kernel is None:
+            from ..kernels import resolve_backend
+
+            kernel = self.kernel = resolve_backend(None)
+        return kernel
 
     # ------------------------------------------------------------ lifecycle
 
@@ -164,24 +188,52 @@ class DiversityAlgorithm(PathConstructionAlgorithm):
         score dropped is pushed back and the maximum remains exact.
         """
         table = self.history.table(origin, neighbor)
-        threshold = self.params.score_threshold
-        heap: List[Tuple] = []
+        candidates: List[_Candidate] = []
         for pcb in beacons:
             if pcb.contains_as(neighbor):
                 continue
             path_links = pcb.link_ids()
-            path_length = pcb.path_length
             for link in links:
                 counted = path_links + (link.link_id,)
-                candidate = _Candidate(
-                    pcb=pcb,
-                    link=link,
-                    counted_links=counted,
-                    path_key=(origin, counted),
+                candidates.append(
+                    _Candidate(
+                        pcb=pcb,
+                        link=link,
+                        counted_links=counted,
+                        path_key=(origin, counted),
+                    )
                 )
-                rank = self._rank(candidate, table, now, path_length)
-                if rank is not None:
-                    heap.append(rank)
+        # Batch-prime the initial heap build: candidates without a valid
+        # sent record score via Eq. 2, whose table reads (version sum,
+        # counter sum, geometric mean) the kernel computes in one
+        # struct-of-arrays pass over the candidate rows. Re-ranks after
+        # commits stay scalar — the lazy heap touches few of them.
+        counter_sums: List[Optional[int]] = [None] * len(candidates)
+        fresh = [
+            index
+            for index, candidate in enumerate(candidates)
+            if not self._has_valid_record(candidate, now)
+        ]
+        if fresh:
+            batch = self._kernel().batch_diversity(
+                table, [candidates[index].counted_links for index in fresh]
+            )
+            for index, (version, counter_sum, gm) in zip(fresh, batch):
+                candidate = candidates[index]
+                candidate.cached_ds = diversity_score(gm, self.params)
+                candidate.cached_version = version
+                counter_sums[index] = counter_sum
+        heap: List[Tuple] = []
+        for candidate, counter_sum in zip(candidates, counter_sums):
+            rank = self._rank(
+                candidate,
+                table,
+                now,
+                candidate.pcb.path_length,
+                counter_sum=counter_sum,
+            )
+            if rank is not None:
+                heap.append(rank)
         heapq.heapify(heap)
 
         selected: List[Transmission] = []
@@ -207,12 +259,18 @@ class DiversityAlgorithm(PathConstructionAlgorithm):
             )
         return selected
 
+    def _has_valid_record(self, candidate: _Candidate, now: float) -> bool:
+        """Whether the candidate re-scores via Eq. 3 (valid sent record)."""
+        record = self.sent.record(candidate.link.link_id, candidate.path_key)
+        return record is not None and record.is_valid(now)
+
     def _rank(
         self,
         candidate: _Candidate,
         table: LinkHistoryTable,
         now: float,
         path_length: int,
+        counter_sum: Optional[int] = None,
     ) -> Optional[Tuple]:
         """Min-heap priority tuple, or None below the score threshold.
 
@@ -228,9 +286,10 @@ class DiversityAlgorithm(PathConstructionAlgorithm):
         score, ds = self._score(candidate, table, now)
         if score <= self.params.score_threshold:
             return None
-        counter_sum = sum(
-            table.counter(link_id) for link_id in candidate.counted_links
-        )
+        if counter_sum is None:
+            counter_sum = sum(
+                table.counter(link_id) for link_id in candidate.counted_links
+            )
         return (
             -score,
             -ds,

@@ -15,6 +15,8 @@ evaluation needs the *semantics* (alteration detection, chaining) and the
 from __future__ import annotations
 
 import hashlib
+import hmac
+import struct
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -50,13 +52,17 @@ def compute_mac(
     expiry: float,
     prev_mac: bytes,
 ) -> bytes:
-    """Chained hop-field MAC."""
+    """Chained hop-field MAC.
+
+    ``timestamp`` and ``expiry`` are hashed as full IEEE-754 doubles:
+    hop fields differing only in fractional seconds must not collide.
+    """
     payload = b"|".join(
         (
-            int(timestamp).to_bytes(8, "big"),
+            struct.pack(">d", timestamp),
             ingress_ifid.to_bytes(4, "big"),
             egress_ifid.to_bytes(4, "big"),
-            int(expiry).to_bytes(8, "big"),
+            struct.pack(">d", expiry),
             prev_mac,
         )
     )
@@ -90,7 +96,10 @@ class HopField:
             self.expiry,
             prev_mac,
         )
-        return expected == self.mac
+        # Constant-time comparison, like a real border router: a '=='
+        # short-circuits on the first differing byte, leaking match
+        # length through timing.
+        return hmac.compare_digest(expected, self.mac)
 
     def is_expired(self, now: float) -> bool:
         return now >= self.expiry

@@ -32,6 +32,11 @@ class BorderRouter:
     def __post_init__(self) -> None:
         self._key = forwarding_key(self.asn)
 
+    @property
+    def key(self) -> bytes:
+        """The AS forwarding key this router verifies MACs under."""
+        return self._key
+
     def forward(self, packet: ScionPacket, *, now: float) -> Tuple[ScionPacket, Optional[int]]:
         """Process the packet at this AS.
 
@@ -89,6 +94,10 @@ class RouterTable:
 
     def __len__(self) -> int:
         return len(self._routers)
+
+    def forwarding_key(self, asn: int) -> bytes:
+        """The memoized forwarding key of ``asn`` (derives the router)."""
+        return self.router(asn).key
 
     def deliver_packet(
         self, packet: ScionPacket, *, now: float

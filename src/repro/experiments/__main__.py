@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.experiments <experiment> [--scale test|bench|paper]
                                 [--jobs N] [--shards N|auto]
+                                [--backend python|numpy]
                                 [--cache-dir DIR | --no-cache]
                                 [--no-timing]
 
@@ -28,6 +29,7 @@ import argparse
 import sys
 import time
 
+from ..kernels import BACKEND_NAMES, available_backends
 from ..obs import Telemetry, configure_logging, get_reporter
 from ..obs.log import LEVELS
 from ..runtime import ExperimentRuntime, default_cache_dir, default_jobs
@@ -71,6 +73,16 @@ def main(argv=None) -> int:
             "beaconing shards per series (repro.shard kernel); results are "
             "byte-identical to --shards 1 for any count. 'auto' picks "
             "min(cpu count, ISD count of the scale)"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        default="python",
+        choices=BACKEND_NAMES,
+        help=(
+            "kernel backend for the forwarding/scoring hot loops "
+            "(repro.kernels); results are byte-identical to --backend "
+            "python for any choice. 'numpy' needs the optional numpy extra"
         ),
     )
     parser.add_argument(
@@ -132,6 +144,12 @@ def main(argv=None) -> int:
     configure_logging(args.log_level)
     reporter = get_reporter("repro.experiments")
     shards = _resolve_shards(args.shards, scale, parser)
+    if args.backend not in available_backends():
+        parser.error(
+            f"--backend {args.backend} is not available in this install; "
+            "the numpy backend needs the optional numpy extra "
+            "(pip install 'repro[numpy]')"
+        )
 
     collect = bool(args.metrics_out or args.trace_out or args.profile)
     telemetry = Telemetry.collecting(profile=args.profile) if collect else None
@@ -141,7 +159,11 @@ def main(argv=None) -> int:
         if not args.no_cache:
             cache = args.cache_dir if args.cache_dir else default_cache_dir()
         return ExperimentRuntime(
-            jobs=args.jobs, cache=cache, telemetry=telemetry, shards=shards
+            jobs=args.jobs,
+            cache=cache,
+            telemetry=telemetry,
+            shards=shards,
+            backend=args.backend,
         )
 
     runners = {

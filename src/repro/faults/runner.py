@@ -59,11 +59,13 @@ class FaultSpec:
     #: Account §4.1 revocation messages through a RevocationService.
     account_revocations: bool = True
 
-    def algorithm_factory(self):
+    def algorithm_factory(self, kernel: str = "python"):
         if self.algorithm == "baseline":
             return baseline_factory(self.dissemination_limit)
         if self.algorithm == "diversity":
-            return diversity_factory(self.dissemination_limit, self.params)
+            return diversity_factory(
+                self.dissemination_limit, self.params, kernel
+            )
         raise ValueError(f"unknown algorithm {self.algorithm!r}")
 
     def result_key(self, topology_fp: str) -> str:
@@ -98,6 +100,11 @@ class FaultTask:
     #: Give each shard its own worker process (coordinator policy: only
     #: when the runtime isn't already fanned out across ``--jobs``).
     shard_processes: bool = False
+    #: Kernel backend (``repro.kernels``) the run computes through. Lives
+    #: on the task, not the spec, for the same reason as ``shards``:
+    #: backends are byte-identical by contract, so the choice must not
+    #: change cache keys or results.
+    backend: str = "python"
 
 
 @dataclass
@@ -156,7 +163,7 @@ def execute_fault_run(task: FaultTask) -> FaultOutcome:
 
         sim = ShardedBeaconing(
             topology,
-            spec.algorithm_factory(),
+            spec.algorithm_factory(task.backend),
             spec.config,
             shards=task.shards,
             processes=task.shard_processes,
@@ -164,7 +171,7 @@ def execute_fault_run(task: FaultTask) -> FaultOutcome:
         )
     else:
         sim = BeaconingSimulation(
-            topology, spec.algorithm_factory(), spec.config, obs=tel
+            topology, spec.algorithm_factory(task.backend), spec.config, obs=tel
         )
     revocations = (
         RevocationService(topology) if spec.account_revocations else None

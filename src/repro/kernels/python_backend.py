@@ -1,0 +1,53 @@
+"""The pure-Python reference backend.
+
+This is the semantics oracle: it drives each packet through the border
+routers exactly like the pre-kernel engine did (per-packet
+``deliver_packet`` with chained per-hop MAC verification) and scores
+beaconing candidates with the scalar Link History Table calls. Every
+other backend must match its outputs byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..dataplane.router import ForwardingError
+from .base import KernelBackend
+
+__all__ = ["PythonBackend"]
+
+
+class PythonBackend(KernelBackend):
+    """Reference implementation: scalar loops, no dependencies."""
+
+    name = "python"
+
+    def deliver_flow(
+        self, routers, packet, count, *, now, profiler=None
+    ) -> Tuple[int, int]:
+        delivered = 0
+        hops = 0
+        for _ in range(count):
+            try:
+                if profiler is not None:
+                    with profiler.sample("traffic.forward_packet"):
+                        _, traversed = routers.deliver_packet(packet, now=now)
+                else:
+                    _, traversed = routers.deliver_packet(packet, now=now)
+            except ForwardingError:
+                break
+            delivered += 1
+            hops = len(traversed)
+        return delivered, hops
+
+    def batch_diversity(
+        self, table, rows: Sequence[Tuple[int, ...]]
+    ) -> List[Tuple[int, int, float]]:
+        return [
+            (
+                table.version(row),
+                sum(table.counter(link_id) for link_id in row),
+                table.geometric_mean(row),
+            )
+            for row in rows
+        ]

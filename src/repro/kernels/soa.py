@@ -1,0 +1,93 @@
+"""Struct-of-arrays layouts for the kernel backends.
+
+The object graphs the engines operate on (tuples of frozen
+:class:`~repro.dataplane.hopfield.HopField` dataclasses, per-candidate
+link tuples) are convenient but force the hot loops into per-object
+attribute chasing. The SoA forms here pack them into parallel columns —
+one sequence per field, MACs in one contiguous byte string — which the
+batched backend can turn into arrays, slice per-column, and compare in
+single passes. Packing is lossless: ``to_hop_fields`` round-trips
+exactly, which the unit tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..dataplane.hopfield import MAC_BYTES, HopField
+from ..dataplane.packet import ForwardingPath
+
+__all__ = ["HopFieldSoA", "pad_rows", "unpad_rows"]
+
+
+@dataclass(frozen=True)
+class HopFieldSoA:
+    """The hop fields of one forwarding path, one column per field.
+
+    ``macs`` concatenates the per-hop MACs (``MAC_BYTES`` each), so the
+    whole chain can be compared against a recomputed chain with a single
+    constant-time digest comparison.
+    """
+
+    asns: Tuple[int, ...]
+    ingress: Tuple[int, ...]
+    egress: Tuple[int, ...]
+    expiry: Tuple[float, ...]
+    macs: bytes
+
+    @classmethod
+    def from_hop_fields(cls, hop_fields: Sequence[HopField]) -> "HopFieldSoA":
+        return cls(
+            asns=tuple(hf.asn for hf in hop_fields),
+            ingress=tuple(hf.ingress_ifid for hf in hop_fields),
+            egress=tuple(hf.egress_ifid for hf in hop_fields),
+            expiry=tuple(hf.expiry for hf in hop_fields),
+            macs=b"".join(hf.mac for hf in hop_fields),
+        )
+
+    @classmethod
+    def from_path(cls, path: ForwardingPath) -> "HopFieldSoA":
+        return cls.from_hop_fields(path.hop_fields)
+
+    def __len__(self) -> int:
+        return len(self.asns)
+
+    def mac(self, index: int) -> bytes:
+        return self.macs[index * MAC_BYTES : (index + 1) * MAC_BYTES]
+
+    def to_hop_fields(self) -> Tuple[HopField, ...]:
+        """Unpack back into the AoS form (exact round-trip)."""
+        return tuple(
+            HopField(
+                asn=self.asns[i],
+                ingress_ifid=self.ingress[i],
+                egress_ifid=self.egress[i],
+                expiry=self.expiry[i],
+                mac=self.mac(i),
+            )
+            for i in range(len(self))
+        )
+
+
+def pad_rows(
+    rows: Sequence[Tuple[int, ...]], fill: int
+) -> Tuple[List[List[int]], List[int]]:
+    """Pack ragged candidate rows into a rectangular matrix.
+
+    Returns ``(matrix, lengths)`` where every row is right-padded with
+    ``fill`` to the width of the longest row. ``fill`` is the caller's
+    sentinel (the batched scorer points it at a neutral pad slot).
+    """
+    width = max((len(row) for row in rows), default=0)
+    matrix = [list(row) + [fill] * (width - len(row)) for row in rows]
+    return matrix, [len(row) for row in rows]
+
+
+def unpad_rows(
+    matrix: Sequence[Sequence[int]], lengths: Sequence[int]
+) -> List[Tuple[int, ...]]:
+    """Inverse of :func:`pad_rows` (exact round-trip)."""
+    return [
+        tuple(row[:length]) for row, length in zip(matrix, lengths)
+    ]

@@ -49,6 +49,8 @@ class RunReport:
     jobs: int = 1
     #: Beaconing shard count the run was configured with (``--shards``).
     shards: int = 1
+    #: Kernel backend the run computed through (``--backend``).
+    backend: str = "python"
     phases: List[PhaseRecord] = field(default_factory=list)
     started_at: float = field(default_factory=time.time)
     #: Run-level aggregates folded in from the telemetry registry
@@ -111,6 +113,7 @@ class RunReport:
             "scale": self.scale,
             "jobs": self.jobs,
             "shards": self.shards,
+            "backend": self.backend,
             "started_at": datetime.fromtimestamp(
                 self.started_at, tz=timezone.utc
             ).isoformat(),

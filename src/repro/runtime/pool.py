@@ -60,11 +60,21 @@ class ExperimentRuntime:
         report: Optional[RunReport] = None,
         telemetry: Optional[Telemetry] = None,
         shards: int = 1,
+        backend: str = "python",
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if shards < 1:
             raise ValueError("shards must be >= 1")
+        # Fail fast (and with the install hint) before any work is
+        # dispatched when the backend is unknown or unavailable.
+        from ..kernels import get_backend
+
+        get_backend(backend)
+        #: Kernel backend name every task computes through. Byte-identical
+        #: results by contract (see ``repro.kernels``), so this changes
+        #: wall time only — never results or cache keys.
+        self.backend = backend
         self.jobs = jobs
         #: Beaconing shard count for every series/fault run. Sharded runs
         #: are byte-identical to single-process runs by contract, so this
@@ -90,6 +100,7 @@ class ExperimentRuntime:
         self.report = report if report is not None else RunReport(jobs=jobs)
         self.report.jobs = jobs
         self.report.shards = shards
+        self.report.backend = backend
         #: When set (and enabled), workers collect per-task registries and
         #: trace streams that are merged back here — commutatively, in task
         #: order — so ``--jobs N`` snapshots match ``--jobs 1`` byte for
@@ -182,6 +193,7 @@ class ExperimentRuntime:
                         profile=profile,
                         shards=self.shards,
                         shard_processes=self.shard_processes,
+                        backend=self.backend,
                     )
                 )
             else:
@@ -194,6 +206,7 @@ class ExperimentRuntime:
                         profile=profile,
                         shards=self.shards,
                         shard_processes=self.shard_processes,
+                        backend=self.backend,
                     )
                 )
         workers = min(self.jobs, len(prepared))
@@ -236,6 +249,7 @@ class ExperimentRuntime:
                         topology=topology,
                         telemetry=telemetry,
                         profile=profile,
+                        backend=self.backend,
                     )
                 )
             else:
@@ -246,6 +260,7 @@ class ExperimentRuntime:
                         topology_key=topology_key,
                         telemetry=telemetry,
                         profile=profile,
+                        backend=self.backend,
                     )
                 )
         workers = min(self.jobs, len(prepared))
@@ -300,6 +315,7 @@ class ExperimentRuntime:
                 profile=profile,
                 shards=self.shards,
                 shard_processes=self.shard_processes,
+                backend=self.backend,
             )
         return SeriesTask(
             spec=spec,
@@ -309,6 +325,7 @@ class ExperimentRuntime:
             profile=profile,
             shards=self.shards,
             shard_processes=self.shard_processes,
+            backend=self.backend,
         )
 
     def _record(self, outcome: SeriesOutcome) -> None:

@@ -72,11 +72,13 @@ class SeriesSpec:
     #: over the topology's *full* directed-interface set.
     collect_bandwidth: bool = False
 
-    def algorithm_factory(self):
+    def algorithm_factory(self, kernel: str = "python"):
         if self.algorithm == "baseline":
             return baseline_factory(self.dissemination_limit)
         if self.algorithm == "diversity":
-            return diversity_factory(self.dissemination_limit, self.params)
+            return diversity_factory(
+                self.dissemination_limit, self.params, kernel
+            )
         raise ValueError(f"unknown algorithm {self.algorithm!r}")
 
     def snapshot_key(self, topology_fp: str) -> str:
@@ -129,6 +131,11 @@ class SeriesTask:
     #: Give each shard its own worker process (coordinator policy: only
     #: when the runtime isn't already fanned out across ``--jobs``).
     shard_processes: bool = False
+    #: Kernel backend (``repro.kernels``) the run computes through. Lives
+    #: on the task, not the spec, for the same reason as ``shards``:
+    #: backends are byte-identical by contract, so the choice must not
+    #: change cache keys or results.
+    backend: str = "python"
 
 
 @dataclass
@@ -233,14 +240,14 @@ def execute_series(task: SeriesTask) -> SeriesOutcome:
         if sharded:
             return ShardedBeaconing(
                 topology,
-                spec.algorithm_factory(),
+                spec.algorithm_factory(task.backend),
                 spec.config,
                 plan=plan,
                 processes=task.shard_processes,
                 initial_states=states,
             )
         return BeaconingSimulation(
-            topology, spec.algorithm_factory(), spec.config
+            topology, spec.algorithm_factory(task.backend), spec.config
         )
 
     def store_sim(sim) -> None:

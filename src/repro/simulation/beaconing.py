@@ -96,6 +96,9 @@ class _BaselineFactory:
 class _DiversityFactory:
     dissemination_limit: int = 5
     params: Optional[DiversityParams] = None
+    #: Scoring kernel backend name (``repro.kernels``); a pure
+    #: performance choice — every backend scores bit-identically.
+    kernel: str = "python"
 
     def __call__(
         self, asn: int, topology: Topology
@@ -105,6 +108,9 @@ class _DiversityFactory:
             topology,
             dissemination_limit=self.dissemination_limit,
             params=self.params,
+            # getattr: factories unpickled from pre-kernel warm snapshots
+            # have no kernel field.
+            kernel=getattr(self, "kernel", "python"),
         )
 
 
@@ -116,9 +122,10 @@ def baseline_factory(dissemination_limit: int = 5) -> AlgorithmFactory:
 def diversity_factory(
     dissemination_limit: int = 5,
     params: Optional[DiversityParams] = None,
+    kernel: str = "python",
 ) -> AlgorithmFactory:
     """Factory for per-AS path-diversity algorithm instances."""
-    return _DiversityFactory(dissemination_limit, params)
+    return _DiversityFactory(dissemination_limit, params, kernel)
 
 
 @dataclass

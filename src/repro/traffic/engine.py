@@ -32,13 +32,14 @@ identity, and fault targets are picked from accumulated byte counts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from ..control.network import ScionNetwork
 from ..dataplane.combinator import EndToEndPath
 from ..dataplane.packet import HostAddress, ScionPacket, build_forwarding_path
-from ..dataplane.router import ForwardingError, RouterTable
+from ..dataplane.router import RouterTable
 from ..deployment.sig import ASMap, IPPacket, ScionIPGateway
+from ..kernels import KernelBackend, resolve_backend
 from ..obs import NULL_TELEMETRY, Telemetry
 from ..topology.latency import LatencyModel
 from .flows import Flow, FlowGenerator
@@ -116,6 +117,7 @@ class TrafficEngine:
         legacy_asns: Tuple[int, ...] = (),
         name: str = "traffic",
         obs: Optional[Telemetry] = None,
+        backend: Union[KernelBackend, str, None] = None,
     ) -> None:
         self.network = network
         self.topology = network.topology
@@ -123,6 +125,9 @@ class TrafficEngine:
         self.config = config
         self.name = name
         self.obs = obs if obs is not None else NULL_TELEMETRY
+        #: Forwarding kernel (``repro.kernels``): byte-identical results
+        #: whichever backend serves the flows.
+        self.kernel = resolve_backend(backend)
         self.routers = network.router_table
         self.latency = LatencyModel(self.topology, seed=config.latency_seed)
         self.policy = get_policy(config.policy)
@@ -164,6 +169,7 @@ class TrafficEngine:
         self._ctx = PolicyContext(
             self.latency, self._prev_utilization, self._pair_history
         )
+        self._wired_caches: List = []
         self._wire_cache_events()
 
     def attach_telemetry(self, obs: Telemetry) -> None:
@@ -216,6 +222,7 @@ class TrafficEngine:
 
     def _wire_cache_events(self) -> None:
         """Emit a trace instant per cache lookup event when tracing."""
+        self._unwire_cache_events()
         trace = self.obs.trace
         if not trace.enabled:
             return
@@ -228,6 +235,18 @@ class TrafficEngine:
                     key=str(key),
                 )
             )
+            self._wired_caches.append(cache)
+
+    def _unwire_cache_events(self) -> None:
+        """Detach the hooks :meth:`_wire_cache_events` installed.
+
+        The caches belong to the (reusable) network, not to this engine:
+        leaving closures behind would keep this run's trace recorder
+        alive — and collecting — long after the run ended.
+        """
+        for cache in self._wired_caches:
+            cache.on_event = None
+        self._wired_caches = []
 
     # -------------------------------------------------------------- faults
 
@@ -308,25 +327,31 @@ class TrafficEngine:
             legacy_asns=self.legacy_asns,
         )
         obs = self.obs
+        self._wire_cache_events()
         hits0, misses0 = self._cache_counters()
         caches0 = self._cache_counter_map() if obs.metrics.enabled else None
-        for tick in range(config.num_ticks):
-            with obs.trace.span("traffic", "tick", run=self.name, tick=tick):
-                result.offered_bytes.append(0)
-                result.delivered_bytes.append(0)
-                result.lost_bytes.append(0)
-                self._apply_fault_plan(tick, fault_plan, result)
-                for flow in self.generator.flows_for_tick(tick):
-                    self._serve_flow(flow, tick, result)
-                # Roll tick-level link accounting into the run totals.
-                for link_id, count in self._tick_link_bytes.items():
-                    result.link_bytes[link_id] = (
-                        result.link_bytes.get(link_id, 0) + count
-                    )
-                    if count > result.link_peak_bytes.get(link_id, 0):
-                        result.link_peak_bytes[link_id] = count
-                self._prev_tick_link_bytes = self._tick_link_bytes
-                self._tick_link_bytes = {}
+        try:
+            for tick in range(config.num_ticks):
+                with obs.trace.span(
+                    "traffic", "tick", run=self.name, tick=tick
+                ):
+                    result.offered_bytes.append(0)
+                    result.delivered_bytes.append(0)
+                    result.lost_bytes.append(0)
+                    self._apply_fault_plan(tick, fault_plan, result)
+                    for flow in self.generator.flows_for_tick(tick):
+                        self._serve_flow(flow, tick, result)
+                    # Roll tick-level link accounting into the run totals.
+                    for link_id, count in self._tick_link_bytes.items():
+                        result.link_bytes[link_id] = (
+                            result.link_bytes.get(link_id, 0) + count
+                        )
+                        if count > result.link_peak_bytes.get(link_id, 0):
+                            result.link_peak_bytes[link_id] = count
+                    self._prev_tick_link_bytes = self._tick_link_bytes
+                    self._tick_link_bytes = {}
+        finally:
+            self._unwire_cache_events()
         hits1, misses1 = self._cache_counters()
         result.cache_hits = hits1 - hits0
         result.cache_misses = misses1 - misses0
@@ -447,56 +472,64 @@ class TrafficEngine:
         dst_sig = self._sigs.get(flow.dst)
         src_ip = self._host_ip(flow.src)
         dst_ip = self._host_ip(flow.dst)
-        delivered_packets = 0
-        for _ in range(flow.num_packets):
-            if src_sig is not None:
-                # Legacy source: the SIG encapsulates the IP packet and
-                # injects it into the SCION data plane (§3.4).
-                packet = src_sig.encapsulate(
-                    IPPacket(
-                        src_ip=src_ip,
-                        dst_ip=dst_ip,
-                        payload_bytes=flow.payload_bytes,
-                    ),
-                    forwarding,
-                )
-                if packet is None:
-                    break
-            else:
-                packet = ScionPacket(
-                    source=HostAddress(
-                        self.topology.as_node(flow.src).isd or 0,
-                        flow.src,
-                        local=src_ip,
-                    ),
-                    destination=HostAddress(
-                        self.topology.as_node(flow.dst).isd or 0,
-                        flow.dst,
-                        local=dst_ip,
-                    ),
-                    path=forwarding,
+        if src_sig is not None:
+            # Legacy source: the SIG encapsulates the IP packet and
+            # injects it into the SCION data plane (§3.4).
+            packet = src_sig.encapsulate(
+                IPPacket(
+                    src_ip=src_ip,
+                    dst_ip=dst_ip,
                     payload_bytes=flow.payload_bytes,
+                ),
+                forwarding,
+            )
+        else:
+            packet = ScionPacket(
+                source=HostAddress(
+                    self.topology.as_node(flow.src).isd or 0,
+                    flow.src,
+                    local=src_ip,
+                ),
+                destination=HostAddress(
+                    self.topology.as_node(flow.dst).isd or 0,
+                    flow.dst,
+                    local=dst_ip,
+                ),
+                path=forwarding,
+                payload_bytes=flow.payload_bytes,
+            )
+        delivered_packets = 0
+        if packet is not None:
+            # The flow's packets are identical and router state is fixed
+            # within a run, so the kernel forwards them as one batch;
+            # delivery is all-or-nothing per flow.
+            delivered_packets, hops = self.kernel.deliver_flow(
+                self.routers,
+                packet,
+                flow.num_packets,
+                now=now,
+                profiler=profiler if profiling else None,
+            )
+            if src_sig is not None:
+                # The per-packet reference loop encapsulated one packet
+                # per forwarding attempt: every delivered packet, plus
+                # the one that hit the forwarding error on a failed flow.
+                attempts = delivered_packets + (
+                    1 if delivered_packets < flow.num_packets else 0
                 )
-            try:
-                if profiling:
-                    with profiler.sample("traffic.forward_packet"):
-                        final, traversed = self.routers.deliver_packet(
-                            packet, now=now
-                        )
-                else:
-                    final, traversed = self.routers.deliver_packet(
-                        packet, now=now
-                    )
-            except ForwardingError:
-                break
-            result.packets_forwarded += 1
-            result.macs_verified += len(traversed)
-            self._count_link_bytes(path, packet.wire_bytes())
-            if dst_sig is not None:
-                # Legacy destination: the far-side SIG decapsulates back
-                # to the inner IP packet.
-                dst_sig.decapsulate(final)
-            delivered_packets += 1
+                src_sig.encapsulated += attempts - 1
+            if delivered_packets:
+                result.packets_forwarded += delivered_packets
+                result.macs_verified += delivered_packets * hops
+                self._count_link_bytes(
+                    path, packet.wire_bytes() * delivered_packets
+                )
+                if dst_sig is not None:
+                    # Legacy destination: the far-side SIG decapsulates
+                    # back to the inner IP packet — once per packet in
+                    # the reference loop, so mirror the count.
+                    dst_sig.decapsulate(packet)
+                    dst_sig.decapsulated += delivered_packets - 1
 
         if delivered_packets == flow.num_packets:
             result.flows_completed += 1

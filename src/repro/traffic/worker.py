@@ -99,6 +99,11 @@ class TrafficTask:
     telemetry: bool = False
     #: Also run the sampling profiler (wall-clock; non-deterministic).
     profile: bool = False
+    #: Kernel backend (``repro.kernels``) serving the run. Lives on the
+    #: task, not the spec: backends are byte-identical by contract, so
+    #: the choice must not change where a result is cached — both
+    #: backends share cache entries.
+    backend: str = "python"
 
 
 @dataclass
@@ -168,6 +173,7 @@ def execute_traffic_run(task: TrafficTask) -> TrafficOutcome:
             intra_config=spec.intra_config,
             registration_limit=spec.registration_limit,
             obs=tel,
+            backend=task.backend,
         ).run()
     timings["control"] = time.perf_counter() - start
 
@@ -181,6 +187,7 @@ def execute_traffic_run(task: TrafficTask) -> TrafficOutcome:
         legacy_asns=select_legacy_asns(endpoints, spec.legacy_fraction),
         name=spec.name,
         obs=tel,
+        backend=task.backend,
     )
     result = engine.run(spec.fault_plan)
     timings["run"] = time.perf_counter() - start

@@ -365,6 +365,59 @@ class TestFaultCoupling:
         assert recovered is not None and recovered > 0.8
 
 
+class TestCacheEventLifecycle:
+    def test_hooks_detach_after_run(self, topology):
+        """Regression: the engine installs cache-event trace hooks on the
+        *network's* caches; ``run()`` must detach them so a finished run's
+        trace recorder is not kept alive (and collecting) by the reusable
+        network."""
+        from repro.obs import Telemetry
+
+        network = make_network(topology)
+        tel = Telemetry.collecting()
+        engine = TrafficEngine(
+            network,
+            FlowGenerator(leaf_endpoints(topology), FLOWS),
+            TrafficConfig(link_capacity_bps=4e6),
+            obs=tel,
+        )
+        assert any(
+            cache.on_event is not None for _, cache in engine._iter_caches()
+        )
+        engine.run()
+        assert all(
+            cache.on_event is None for _, cache in engine._iter_caches()
+        )
+        assert engine._wired_caches == []
+
+    def test_second_run_rewires_cleanly(self, topology):
+        """A fresh traced engine over the same network re-attaches its own
+        hooks and still produces a deterministic result."""
+        from repro.obs import Telemetry
+
+        network = make_network(topology)
+        first = TrafficEngine(
+            network,
+            FlowGenerator(leaf_endpoints(topology), FLOWS),
+            TrafficConfig(link_capacity_bps=4e6),
+            obs=Telemetry.collecting(),
+        )
+        first.run()
+        tel = Telemetry.collecting()
+        second = TrafficEngine(
+            network,
+            FlowGenerator(leaf_endpoints(topology), FLOWS),
+            TrafficConfig(link_capacity_bps=4e6),
+            obs=tel,
+        )
+        second.run()
+        events = [e for e in tel.trace.events if e.get("name", "").startswith("cache_")]
+        assert events, "second engine's hooks never fired"
+        assert all(
+            cache.on_event is None for _, cache in second._iter_caches()
+        )
+
+
 class TestRuntimeIntegration:
     def test_select_legacy_asns(self):
         endpoints = list(range(100, 112))

@@ -36,6 +36,7 @@ from repro.experiments.figure6 import run_figure6  # noqa: E402
 from repro.experiments.scionlab import run_scionlab  # noqa: E402
 from repro.experiments.table1 import run_table1  # noqa: E402
 from repro.experiments.traffic import run_traffic  # noqa: E402
+from repro.kernels import BACKEND_NAMES, available_backends  # noqa: E402
 from repro.obs import Telemetry, configure_logging, get_reporter  # noqa: E402
 from repro.runtime import ExperimentRuntime, default_jobs  # noqa: E402
 
@@ -74,13 +75,145 @@ def forwarding_summary(result, report) -> dict:
     return summary
 
 
+def kernel_benchmarks(repeats: int = 3) -> dict:
+    """Per-backend hot-loop throughput at TEST scale.
+
+    For every installed kernel backend (``repro.kernels``) this times the
+    two loops the backends own, in isolation from the surrounding engine
+    (whose policy/SIG/metrics overhead is backend-independent and already
+    covered by the traffic entry): ``deliver_flow`` over an engine-shaped
+    forwarding workload — a few dozen unique paths revisited by many
+    multi-packet flows, the access pattern that lets the batched backend
+    amortize validation — and diversity beaconing through a full
+    :class:`~repro.simulation.beaconing.BeaconingSimulation` (intervals
+    per second). Each measurement is best-of-``repeats`` on a fresh
+    kernel/simulation. The backends are byte-identical by contract; the
+    delivered totals are asserted equal before the entry is recorded.
+    """
+    from repro.control.network import ScionNetwork
+    from repro.dataplane import HostAddress, ScionPacket, build_forwarding_path
+    from repro.experiments.common import build_full_stack_topology
+    from repro.kernels import get_backend
+    from repro.simulation.beaconing import (
+        BeaconingSimulation,
+        diversity_factory,
+    )
+
+    scale = get_scale("test")
+    topology = build_full_stack_topology(scale, leaves_per_core=2)
+    core_config = scale.core_beaconing_config(5)
+    network = ScionNetwork(
+        topology,
+        algorithm="diversity",
+        core_config=core_config,
+        intra_config=scale.intra_isd_config(5),
+    ).run()
+
+    endpoints = sorted(topology.non_core_asns())
+    unique_packets = []
+    for src in endpoints:
+        for dst in endpoints:
+            if src == dst or len(unique_packets) >= 40:
+                continue
+            paths = network.lookup_paths(src, dst)
+            if not paths:
+                continue
+            path = paths[0]
+            unique_packets.append(
+                ScionPacket(
+                    source=HostAddress(1, src),
+                    destination=HostAddress(1, dst),
+                    path=build_forwarding_path(
+                        topology,
+                        path.asns,
+                        path.link_ids,
+                        timestamp=network.now,
+                        expiry=path.expires_at,
+                    ),
+                    payload_bytes=1200,
+                )
+            )
+    flows = unique_packets * 5  # flows revisit paths, as real workloads do
+    packets_per_flow = 16
+
+    backends: dict = {}
+    for backend in available_backends():
+        forward_seconds = []
+        delivered_total = 0
+        for _ in range(repeats):
+            kernel = get_backend(backend)
+            delivered_total = 0
+            start = time.perf_counter()
+            for packet in flows:
+                delivered, _ = kernel.deliver_flow(
+                    network.router_table,
+                    packet,
+                    packets_per_flow,
+                    now=network.now,
+                )
+                delivered_total += delivered
+            forward_seconds.append(time.perf_counter() - start)
+
+        beacon_seconds = []
+        intervals = 0
+        for _ in range(repeats):
+            sim = BeaconingSimulation(
+                topology, diversity_factory(kernel=backend), core_config
+            )
+            start = time.perf_counter()
+            sim.run()
+            beacon_seconds.append(time.perf_counter() - start)
+            intervals = sim.intervals_run
+
+        best_forward = min(forward_seconds)
+        best_beacon = min(beacon_seconds)
+        backends[backend] = {
+            "packets_delivered": delivered_total,
+            "forwarding_seconds": round(best_forward, 4),
+            "forwarding_pps": round(delivered_total / best_forward, 1),
+            "beaconing_intervals": intervals,
+            "beaconing_seconds": round(best_beacon, 4),
+            "beaconing_ips": round(intervals / best_beacon, 2),
+        }
+        reporter.info(
+            f"  kernels[{backend}]: "
+            f"{backends[backend]['forwarding_pps']:.0f} pkt/s, "
+            f"{backends[backend]['beaconing_ips']:.1f} intervals/s"
+        )
+
+    # The byte-identical contract, smoke-checked on the bench workload.
+    totals = {
+        (b["packets_delivered"], b["beaconing_intervals"])
+        for b in backends.values()
+    }
+    if len(totals) > 1:
+        raise AssertionError(f"backend outputs diverged: {backends}")
+
+    entry = {"backends": backends}
+    if "python" in backends and "numpy" in backends:
+        entry["forwarding_speedup"] = round(
+            backends["numpy"]["forwarding_pps"]
+            / backends["python"]["forwarding_pps"],
+            2,
+        )
+        entry["beaconing_speedup"] = round(
+            backends["numpy"]["beaconing_ips"]
+            / backends["python"]["beaconing_ips"],
+            2,
+        )
+    return entry
+
+
 def run_smoke(
-    jobs: int, cache_dir: str | None, telemetry: Telemetry | None = None
+    jobs: int,
+    cache_dir: str | None,
+    telemetry: Telemetry | None = None,
+    backend: str = "python",
 ) -> dict:
     results = {}
     for name, runner in EXPERIMENTS.items():
         runtime = ExperimentRuntime(
-            jobs=jobs, cache=cache_dir, telemetry=telemetry
+            jobs=jobs, cache=cache_dir, telemetry=telemetry, backend=backend
         )
         start = time.perf_counter()
         result = runner(get_scale("test"), runtime=runtime)
@@ -135,6 +268,17 @@ def main(argv=None) -> int:
         "--label", default="", help="free-form tag stored with the entry"
     )
     parser.add_argument(
+        "--backend",
+        default="python",
+        choices=BACKEND_NAMES,
+        help="kernel backend for the experiment runs (repro.kernels)",
+    )
+    parser.add_argument(
+        "--skip-kernels",
+        action="store_true",
+        help="skip the per-backend kernel microbenchmarks",
+    )
+    parser.add_argument(
         "--metrics-out",
         default=None,
         help="also collect telemetry and write the metrics snapshot here",
@@ -152,16 +296,22 @@ def main(argv=None) -> int:
     parser.add_argument("--log-level", default="info")
     args = parser.parse_args(argv)
     configure_logging(args.log_level)
+    if args.backend not in available_backends():
+        parser.error(
+            f"--backend {args.backend} is not available in this install; "
+            "the numpy backend needs the optional numpy extra "
+            "(pip install 'repro[numpy]')"
+        )
 
     collect = bool(args.metrics_out or args.trace_out or args.profile)
     telemetry = Telemetry.collecting(profile=args.profile) if collect else None
     reporter.info(
         f"smoke run: scale=test jobs={args.jobs} "
-        f"cache={args.cache_dir or 'off'}"
+        f"backend={args.backend} cache={args.cache_dir or 'off'}"
         f"{' telemetry=on' if collect else ''}"
     )
     started = time.time()
-    results = run_smoke(args.jobs, args.cache_dir, telemetry)
+    results = run_smoke(args.jobs, args.cache_dir, telemetry, args.backend)
     entry = {
         "timestamp": time.strftime(
             "%Y-%m-%dT%H:%M:%SZ", time.gmtime(started)
@@ -169,6 +319,7 @@ def main(argv=None) -> int:
         "label": args.label,
         "scale": "test",
         "jobs": args.jobs,
+        "backend": args.backend,
         "cache": bool(args.cache_dir),
         "telemetry": collect,
         "machine": host_fingerprint(),
@@ -178,6 +329,8 @@ def main(argv=None) -> int:
         ),
         "experiments": results,
     }
+    if not args.skip_kernels:
+        entry["kernels"] = kernel_benchmarks()
     append_trajectory(Path(args.output), entry)
     if telemetry is not None:
         if args.metrics_out:

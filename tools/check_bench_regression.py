@@ -13,6 +13,11 @@ the latest ``shard_scaling`` entry must show at least ``--shard-speedup``
 (default 1.8x) at 4 shards — skipped when the recording host had fewer
 than 4 cores, where process-per-shard cannot beat serial.
 
+And gates the kernel-backend microbenchmarks (``kernels`` section of a
+smoke entry): the numpy backend must beat the python reference on
+forwarding throughput by at least ``--kernel-speedup`` (default 3x) —
+skipped when the recording install had no numpy backend.
+
 Exit status: 1 when throughput dropped more than ``--threshold`` (default
 10%) below the baseline or the shard speedup is under the floor; 0
 otherwise, including when there is no prior same-machine baseline yet
@@ -57,11 +62,15 @@ def check(history: list, threshold: float) -> int:
         return 0
     latest = candidates[-1]
     machine = latest.get("machine", "")
+    # Entries computed through different kernel backends are different
+    # performance regimes; only same-backend entries form a baseline.
+    backend = latest.get("backend", "python")
     latest_pps = throughput(latest)
     baseline = [
         throughput(e)
         for e in candidates[:-1]
         if e.get("machine", "") == machine
+        and e.get("backend", "python") == backend
     ]
     if not baseline:
         reporter.info(
@@ -114,6 +123,33 @@ def check_shard_scaling(
     return 0 if speedup >= min_speedup else 1
 
 
+def check_kernel_speedup(history: list, min_speedup: float) -> int:
+    """Gate the latest ``kernels`` microbench section (``bench_smoke.py``).
+
+    The numpy backend exists to make the forwarding hot loop cheap; on CI
+    runners it must beat the pure-Python reference by ``min_speedup`` on
+    forwarding packets/sec. Installs without numpy record python-only
+    sections and skip the gate.
+    """
+    candidates = [e for e in history if "kernels" in e]
+    if not candidates:
+        reporter.info("no kernel microbench entries; nothing to check")
+        return 0
+    kernels = candidates[-1]["kernels"]
+    speedup = kernels.get("forwarding_speedup")
+    if speedup is None:
+        reporter.info(
+            "latest kernels entry has no numpy backend; speedup gate skipped"
+        )
+        return 0
+    verdict = "OK" if speedup >= min_speedup else "REGRESSION"
+    reporter.info(
+        f"kernel speedup: numpy {speedup:.2f}x python on forwarding "
+        f"(floor {min_speedup:.2f}x): {verdict}"
+    )
+    return 0 if speedup >= min_speedup else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("trajectory", help="BENCH_smoke.json path")
@@ -128,6 +164,12 @@ def main(argv=None) -> int:
         type=float,
         default=1.8,
         help="min 4-shard speedup over 1 shard (hosts with >= 4 cores)",
+    )
+    parser.add_argument(
+        "--kernel-speedup",
+        type=float,
+        default=3.0,
+        help="min numpy-over-python forwarding speedup (numpy installs)",
     )
     parser.add_argument("--log-level", default="info")
     args = parser.parse_args(argv)
@@ -145,7 +187,8 @@ def main(argv=None) -> int:
         history = [history]
     status = check(history, args.threshold)
     shard_status = check_shard_scaling(history, args.shard_speedup)
-    return status or shard_status
+    kernel_status = check_kernel_speedup(history, args.kernel_speedup)
+    return status or shard_status or kernel_status
 
 
 if __name__ == "__main__":
