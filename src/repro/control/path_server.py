@@ -43,6 +43,23 @@ class SegmentCache:
     entries, then evicts in least-recently-used order, so memory stays
     bounded under workloads with many distinct lookup keys (e.g. a traffic
     engine resolving millions of user flows).
+
+    **Concurrency model (single asyncio loop).** The cache is safe for
+    interleaved use from concurrent service requests under cooperative
+    (asyncio) concurrency: no method ever awaits, so every call is atomic
+    with respect to every other task on the loop. Two further guarantees
+    make interleaving across *await points* safe as well:
+
+    * ``get`` returns a **fresh list copy** — a task suspended while
+      holding a result can never observe (or cause) mutation of the
+      cached entry;
+    * every explicit invalidation (``invalidate``/``clear``) bumps
+      :attr:`generation`, so a task that resolved paths before suspending
+      can cheaply detect that a revocation-driven invalidation landed in
+      between and must re-validate (see
+      :meth:`repro.service.service.MeasurementService._handle_lookup`).
+
+    The cache is **not** thread-safe; it is never shared across threads.
     """
 
     #: Optional observability hook ``on_event(kind, key)`` with kind in
@@ -65,6 +82,10 @@ class SegmentCache:
         self.misses = 0
         self.evictions = 0
         self.expirations = 0
+        #: Bumped on every explicit invalidation (``invalidate``/``clear``).
+        #: Tasks that cache a lookup across an await point compare
+        #: generations to detect an intervening invalidation.
+        self.generation = 0
 
     def counters(self) -> Dict[str, int]:
         """The cache's lifetime event counters, by event kind — the shape
@@ -125,10 +146,12 @@ class SegmentCache:
         return len(expired)
 
     def invalidate(self, key) -> None:
+        self.generation += 1
         self._entries.pop(key, None)
 
     def clear(self) -> None:
         """Drop every entry (hit/miss counters are preserved)."""
+        self.generation += 1
         self._entries.clear()
 
     def __len__(self) -> int:

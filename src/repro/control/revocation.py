@@ -50,7 +50,19 @@ class SCMPNotification:
 
 
 class RevocationService:
-    """Coordinates the two revocation reactions for one topology."""
+    """Coordinates the two revocation reactions for one topology.
+
+    **Concurrency model (single asyncio loop).** The service is safe for
+    interleaved use from concurrent tasks under cooperative (asyncio)
+    concurrency: no method awaits, so each call runs atomically with
+    respect to every other task on the loop. Mutations are *observable*
+    across await points, though — a task that resolved paths and then
+    suspended may resume after a revocation landed. :attr:`epoch` is
+    bumped on every state change (``revoke_link`` and ``clear``); such a
+    task snapshots the epoch before suspending and, if it moved,
+    re-validates its paths through :meth:`filter_paths` before using
+    them. Not thread-safe; never shared across threads.
+    """
 
     def __init__(
         self,
@@ -62,6 +74,10 @@ class RevocationService:
         self.core_servers = dict(core_servers) if core_servers else {}
         self.log = log if log is not None else ControlMessageLog()
         self._revoked: Dict[int, Revocation] = {}
+        #: Monotonic state-change counter; bumped by every ``revoke_link``
+        #: and every effective ``clear``. Cheap staleness check for tasks
+        #: holding resolved paths across an await point.
+        self.epoch = 0
 
     # ------------------------------------------------------------ reactions
 
@@ -81,6 +97,7 @@ class RevocationService:
             link_id=link_id, issuing_asn=issuing_asn, issued_at=now
         )
         self._revoked[link_id] = revocation
+        self.epoch += 1
         isd = self.topology.as_node(issuing_asn).isd
         servers = [
             server
@@ -150,7 +167,10 @@ class RevocationService:
         """Forget a revocation once the link has recovered (the production
         system achieves the same by letting the revocation lifetime lapse
         without re-announcement). Returns whether one was pending."""
-        return self._revoked.pop(link_id, None) is not None
+        cleared = self._revoked.pop(link_id, None) is not None
+        if cleared:
+            self.epoch += 1
+        return cleared
 
     # -------------------------------------------------------------- queries
 

@@ -12,7 +12,9 @@ Experiments: table1, figure5, figure6 (6a+6b), figure7, figure8, figure9
 (7-9 share one run), scionlab, gridsearch, faults (fault-injection
 recovery study; see ``--fault-schedules``), traffic (end-to-end
 data-plane workloads: goodput, latency, utilization, cache hit rates),
-all.
+serve (a scripted session of the always-on measurement service: seeded
+multi-client load against a persistent network under a virtual clock;
+see ``--clients``/``--seed``/``--wall``), all.
 
 ``--jobs N`` fans independent beaconing series out over N worker
 processes; ``--jobs 1`` (the default) runs the same code path serially and
@@ -53,7 +55,7 @@ def main(argv=None) -> int:
         choices=[
             "table1", "figure5", "figure6", "figure6a", "figure6b",
             "figure7", "figure8", "figure9", "scionlab", "gridsearch",
-            "faults", "traffic", "all",
+            "faults", "traffic", "serve", "all",
         ],
     )
     parser.add_argument("--scale", default="bench")
@@ -139,10 +141,51 @@ def main(argv=None) -> int:
         choices=LEVELS,
         help="reporter verbosity (default: info, plain stdout lines)",
     )
+    serve = parser.add_argument_group(
+        "serve", "scripted measurement-service sessions (experiment 'serve')"
+    )
+    serve.add_argument(
+        "--clients", type=int, default=1000,
+        help="simulated clients in the scripted session (default: 1000)",
+    )
+    serve.add_argument(
+        "--requests-per-client", type=int, default=3,
+        help="requests each client submits (default: 3)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=42,
+        help="load-generator seed; same seed => byte-identical session",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="service worker tasks draining the request queue (default: 4)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="bounded request-queue depth / admission control (default: 64)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=50.0,
+        help="per-client token-bucket rate in requests/s (default: 50)",
+    )
+    serve.add_argument(
+        "--burst", type=float, default=20.0,
+        help="per-client token-bucket burst (default: 20)",
+    )
+    serve.add_argument(
+        "--wall", action="store_true",
+        help="run against the wall clock instead of the virtual clock",
+    )
+    serve.add_argument(
+        "--snapshot-out", default=None,
+        help="write the session's canonical JSON report to this path",
+    )
     args = parser.parse_args(argv)
-    scale = get_scale(args.scale)
     configure_logging(args.log_level)
     reporter = get_reporter("repro.experiments")
+    if args.experiment == "serve":
+        return _run_serve(args, reporter)
+    scale = get_scale(args.scale)
     shards = _resolve_shards(args.shards, scale, parser)
     if args.backend not in available_backends():
         parser.error(
@@ -203,6 +246,46 @@ def main(argv=None) -> int:
         reporter.info(f"[{name} completed in {time.time() - start:.1f}s]\n")
     if telemetry is not None:
         _write_telemetry(telemetry, args, reporter)
+    return 0
+
+
+def _run_serve(args, reporter) -> int:
+    """The 'serve' experiment: one scripted measurement-service session."""
+    from ..service import (
+        LoadConfig,
+        ServiceConfig,
+        SessionConfig,
+        run_session,
+    )
+
+    config = SessionConfig(
+        scale=args.scale,
+        load=LoadConfig(
+            num_clients=args.clients,
+            requests_per_client=args.requests_per_client,
+            seed=args.seed,
+        ),
+        service=ServiceConfig(
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            rate_per_client=args.rate,
+            burst_per_client=args.burst,
+        ),
+        virtual=not args.wall,
+    )
+    collect = bool(args.metrics_out or args.trace_out or args.profile)
+    telemetry = Telemetry.collecting(profile=args.profile) if collect else None
+    start = time.time()
+    report = run_session(config, obs=telemetry)
+    reporter.info(report.render())
+    if args.snapshot_out:
+        with open(args.snapshot_out, "w") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+        reporter.info(f"[session snapshot written to {args.snapshot_out}]")
+    if telemetry is not None:
+        _write_telemetry(telemetry, args, reporter)
+    reporter.info(f"[serve completed in {time.time() - start:.1f}s]\n")
     return 0
 
 

@@ -1,0 +1,185 @@
+"""Scripted measurement sessions: build network → serve load → snapshot.
+
+One call — :func:`run_session` — assembles the whole always-on story for
+a scale preset: generate the full-stack topology, run beaconing, start
+the service, replay a seeded multi-client load, drain, check every
+invariant, and return a :class:`SessionReport` whose JSON serialization
+is byte-identical across runs of the same config (virtual clock).
+
+This is what the ``serve`` subcommand of ``python -m repro.experiments``
+and the CI load scenario execute.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from ..control.network import ScionNetwork
+from ..experiments.common import build_full_stack_topology
+from ..experiments.config import TEST_SCALE, ExperimentScale, get_scale
+from ..obs import NULL_TELEMETRY, Telemetry
+from .clients import LoadConfig, LoadGenerator
+from .clock import VirtualClock, WallClock
+from .harness import check_invariants, run_virtual
+from .service import MeasurementService, ServiceConfig
+
+__all__ = [
+    "MINI_SCALE",
+    "SessionConfig",
+    "SessionReport",
+    "resolve_scale",
+    "run_session",
+]
+
+#: A deliberately tiny full-stack network (40 ASes, 2 ISDs) that builds in
+#: well under a second — the scale CI and the unit/load tests serve against,
+#: while the CLI defaults to the paper's ``test`` preset.
+MINI_SCALE = replace(
+    TEST_SCALE,
+    name="mini",
+    internet_ases=40,
+    num_isds=2,
+    cores_per_isd=2,
+    isd_max_ases=20,
+)
+
+
+def resolve_scale(name: str) -> ExperimentScale:
+    """The experiment scales plus the session-only ``mini`` preset."""
+    if name == "mini":
+        return MINI_SCALE
+    return get_scale(name)
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Everything a scripted session needs, picklable and hashable."""
+
+    scale: str = "test"
+    load: LoadConfig = field(default_factory=LoadConfig)
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+    #: Leaf ASes hung below every core AS of the scale's core network.
+    leaves_per_core: int = 2
+    #: Run under a virtual clock (deterministic) or real time.
+    virtual: bool = True
+
+
+@dataclass
+class SessionReport:
+    """The deterministic outcome of one scripted session."""
+
+    config_scale: str
+    clients: int
+    planned_requests: int
+    duration_virtual: float
+    aggregate: Dict = field(default_factory=dict)
+    invariants: Dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """Canonical JSON — the byte-identical replay artifact."""
+        return json.dumps(
+            {
+                "scale": self.config_scale,
+                "clients": self.clients,
+                "planned_requests": self.planned_requests,
+                "duration_virtual": round(self.duration_virtual, 9),
+                "aggregate": self.aggregate,
+                "invariants": self.invariants,
+            },
+            sort_keys=True,
+            indent=2,
+        )
+
+    def render(self) -> str:
+        """Human-readable summary for the CLI."""
+        stats = self.aggregate.get("stats", {})
+        latency = self.aggregate.get("latency", {})
+        lines = [
+            f"Measurement service session ({self.config_scale} scale, "
+            f"{self.clients} clients, {self.planned_requests} requests):",
+            f"  submitted {stats.get('submitted', 0)}  "
+            f"accepted {stats.get('accepted', 0)}  "
+            f"rejected(rate) {stats.get('rejected_rate_limited', 0)}  "
+            f"rejected(queue) {stats.get('rejected_queue_full', 0)}",
+            f"  completed ok {stats.get('completed_ok', 0)}  "
+            f"timeout {stats.get('completed_timeout', 0)}  "
+            f"failed {stats.get('completed_failed', 0)}  "
+            f"retries {stats.get('retries', 0)}",
+            f"  latency p50 {latency.get('p50', 0.0) * 1e3:.2f} ms  "
+            f"p99 {latency.get('p99', 0.0) * 1e3:.2f} ms  "
+            f"({latency.get('count', 0)} samples)",
+            f"  peak queue depth {stats.get('peak_queue_depth', 0)}  "
+            f"peak in-flight {stats.get('peak_in_flight', 0)}  "
+            f"virtual duration {self.duration_virtual:.3f}s",
+        ]
+        return "\n".join(lines)
+
+
+def build_session_network(config: SessionConfig) -> ScionNetwork:
+    """The persistent network a session serves (deterministic per scale)."""
+    scale = resolve_scale(config.scale)
+    topology = build_full_stack_topology(
+        scale, leaves_per_core=config.leaves_per_core
+    )
+    return ScionNetwork(topology, algorithm="diversity").run()
+
+
+def leaf_fault_links(network: ScionNetwork) -> List[int]:
+    """Leaf-attachment links — safe fault targets: failing one degrades a
+    single leaf without partitioning the core."""
+    topology = network.topology
+    return sorted(
+        link.link_id
+        for link in topology.links()
+        if link.location == "leaf"
+    )
+
+
+def run_session(
+    config: Optional[SessionConfig] = None,
+    *,
+    obs: Optional[Telemetry] = None,
+    network: Optional[ScionNetwork] = None,
+) -> SessionReport:
+    """Run one scripted session end to end and return its report."""
+    config = config or SessionConfig()
+    obs = obs if obs is not None else NULL_TELEMETRY
+    network = network if network is not None else build_session_network(config)
+    generator = LoadGenerator(
+        sorted(network.topology.non_core_asns()),
+        config.load,
+        fault_links=leaf_fault_links(network),
+    )
+    clock = VirtualClock() if config.virtual else WallClock()
+    service = MeasurementService(
+        network, config=config.service, clock=clock, obs=obs
+    )
+
+    async def scenario():
+        await service.start()
+        responses = await generator.run(service)
+        await service.drain()
+        return responses
+
+    if config.virtual:
+        responses = run_virtual(scenario, clock=clock)
+        duration = clock.now()
+    else:
+        import asyncio
+        import time
+
+        start = time.monotonic()
+        responses = asyncio.run(scenario())
+        duration = time.monotonic() - start
+
+    invariants = check_invariants(service, responses)
+    return SessionReport(
+        config_scale=config.scale,
+        clients=config.load.num_clients,
+        planned_requests=len(responses),
+        duration_virtual=duration,
+        aggregate=service.aggregate_snapshot(),
+        invariants=invariants,
+    )

@@ -46,7 +46,7 @@ from .flows import Flow, FlowGenerator
 from .metrics import TrafficRunResult
 from .policy import PolicyContext, get_policy
 
-__all__ = ["TrafficConfig", "TrafficFaultPlan", "TrafficEngine"]
+__all__ = ["TrafficConfig", "TrafficFaultPlan", "TrafficEngine", "FlowOutcome"]
 
 #: Bucket bounds (seconds) of the forwarding-latency histogram; the
 #: simulated one-way latencies land in the tens-of-milliseconds range.
@@ -105,8 +105,38 @@ class TrafficFaultPlan:
             raise ValueError("num_links must be positive")
 
 
+@dataclass(frozen=True)
+class FlowOutcome:
+    """The per-flow answer :meth:`TrafficEngine.serve_one` returns.
+
+    Plain primitives, derived from the same accounting ``run()`` keeps,
+    so a service layer can serve flows one at a time (request/response)
+    with byte-identical semantics to the batch loop.
+    """
+
+    flow_id: int
+    completed: bool
+    delivered_packets: int
+    offered_bytes: int
+    delivered_bytes: int
+    #: One-way latency in seconds for completed flows, else None.
+    latency: Optional[float]
+    #: Data-plane failure discovery happened (SCMP model) on this flow.
+    scmp_event: bool
+    macs_verified: int
+
+
 class TrafficEngine:
-    """Serves one flow workload over a ran :class:`ScionNetwork`."""
+    """Serves one flow workload over a ran :class:`ScionNetwork`.
+
+    Two driving modes share every code path: :meth:`run` replays a whole
+    :class:`~repro.traffic.flows.FlowGenerator` workload tick by tick,
+    and :meth:`serve_one` serves a single flow on demand — the
+    request/response mode :class:`repro.service.MeasurementService` uses.
+    In the on-demand mode the caller owns the tick cadence: utilization
+    accumulates until :meth:`roll_tick` rolls the current tick's link
+    bytes into the previous-tick observation the policies read.
+    """
 
     def __init__(
         self,
@@ -410,6 +440,51 @@ class TrafficEngine:
                         f"path_server.cache_{plural[event]}",
                         {**labels, "cache": kind},
                     ).inc(delta)
+
+    # ------------------------------------------------------------ on demand
+
+    def serve_one(self, flow: Flow) -> FlowOutcome:
+        """Serve a single flow end to end and report its outcome.
+
+        Runs the exact per-flow pipeline of :meth:`run` (lookup through
+        the segment caches, policy selection, MAC-verified forwarding,
+        SIG gateways) against a throwaway single-tick result record, then
+        distills the deltas into a :class:`FlowOutcome`. Link-byte
+        accounting accumulates in the engine until :meth:`roll_tick`.
+        """
+        result = TrafficRunResult(
+            name=self.name,
+            ticks=1,
+            tick_seconds=self.config.tick_seconds,
+            link_capacity_bps=self.config.link_capacity_bps,
+            legacy_asns=self.legacy_asns,
+        )
+        result.offered_bytes.append(0)
+        result.delivered_bytes.append(0)
+        result.lost_bytes.append(0)
+        self._serve_flow(flow, 0, result)
+        return FlowOutcome(
+            flow_id=flow.flow_id,
+            completed=result.flows_completed == 1,
+            delivered_packets=result.packets_forwarded,
+            offered_bytes=result.offered_bytes[0],
+            delivered_bytes=result.delivered_bytes[0],
+            latency=(
+                result.flow_latencies[0] if result.flow_latencies else None
+            ),
+            scmp_event=result.scmp_events > 0,
+            macs_verified=result.macs_verified,
+        )
+
+    def roll_tick(self) -> None:
+        """Close the current utilization tick (on-demand mode).
+
+        Moves the accumulated per-link byte counts into the
+        previous-tick observation the path policies and the queueing
+        model read — the same roll :meth:`run` performs between ticks.
+        """
+        self._prev_tick_link_bytes = self._tick_link_bytes
+        self._tick_link_bytes = {}
 
     # ------------------------------------------------------------ per flow
 

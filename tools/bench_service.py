@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""CI service benchmark: sustained measurement-service throughput.
+
+Builds a small full-stack network once, then drives the always-on
+measurement service (``repro.service``) with concurrent clients over the
+*wall* clock — simulated per-request service times are zeroed so the
+measurement captures the service's own pipeline overhead (admission,
+queueing, worker dispatch, handlers, result logging) rather than
+configured sleeps. Appends one entry to ``BENCH_smoke.json`` recording
+sustained requests/second and p50/p99 latency, gated by
+``tools/check_bench_regression.py``::
+
+    PYTHONPATH=src python tools/bench_service.py [--requests N] [--clients N]
+                                                 [--output FILE] [--label TEXT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs import configure_logging, get_reporter  # noqa: E402
+from repro.service import (  # noqa: E402
+    MeasurementService,
+    Request,
+    RequestKind,
+    ServiceConfig,
+    SessionConfig,
+    check_invariants,
+)
+from repro.service.session import build_session_network  # noqa: E402
+
+reporter = get_reporter("repro.tools.bench_service")
+
+
+def host_fingerprint() -> str:
+    return f"{platform.machine()}-cpu{os.cpu_count() or 0}"
+
+
+def plan_requests(endpoints, total: int, clients: int):
+    """A deterministic request mix: 70% lookups, 20% traffic, 10% results."""
+    plans = [[] for _ in range(clients)]
+    pairs = [
+        (endpoints[i % len(endpoints)], endpoints[(i + 1) % len(endpoints)])
+        for i in range(total)
+    ]
+    for index in range(total):
+        client = f"bench-{index % clients:04d}"
+        src, dst = pairs[index]
+        slot = index % 10
+        if slot < 7:
+            request = Request(
+                kind=RequestKind.LOOKUP_PATHS, client_id=client,
+                src=src, dst=dst,
+            )
+        elif slot < 9:
+            request = Request(
+                kind=RequestKind.SUBMIT_TRAFFIC, client_id=client,
+                src=src, dst=dst, num_packets=4,
+            )
+        else:
+            request = Request(
+                kind=RequestKind.GET_RESULTS, client_id=client, limit=20,
+            )
+        plans[index % clients].append(request)
+    return plans
+
+
+def run_bench(network, total: int, clients: int) -> dict:
+    config = ServiceConfig(
+        workers=8,
+        queue_depth=max(256, clients * 2),
+        rate_per_client=1e9,
+        burst_per_client=1e9,
+        request_timeout=0.0,          # no timers in the hot loop
+        lookup_cost=0.0,              # measure pipeline overhead,
+        traffic_cost=0.0,             # not configured sleeps
+        fault_cost=0.0,
+        results_cost=0.0,
+        maintenance_interval=0.0,
+        journal=False,                # journaling is for the test harness
+    )
+    service = MeasurementService(network, config=config)
+    plans = plan_requests(
+        sorted(network.topology.non_core_asns()), total, clients
+    )
+
+    async def client(requests):
+        responses = []
+        for request in requests:
+            responses.append(await service.submit(request))
+        return responses
+
+    async def scenario():
+        await service.start()
+        start = time.perf_counter()
+        batches = await asyncio.gather(*(client(p) for p in plans))
+        elapsed = time.perf_counter() - start
+        await service.drain()
+        return batches, elapsed
+
+    batches, elapsed = asyncio.run(scenario())
+    responses = [r for batch in batches for r in batch]
+    check_invariants(service, responses)
+
+    latencies = sorted(service.latencies)
+
+    def percentile(fraction):
+        return latencies[min(len(latencies) - 1, int(fraction * len(latencies)))]
+
+    completed = service.stats["completed_ok"]
+    if completed != total:
+        raise AssertionError(
+            f"bench expected {total} completions, got {completed} "
+            f"(stats: {service.stats})"
+        )
+    return {
+        "requests": total,
+        "clients": clients,
+        "workers": config.workers,
+        "wall_seconds": round(elapsed, 4),
+        "req_per_second": round(total / elapsed, 1),
+        "p50_ms": round(percentile(0.50) * 1e3, 3),
+        "p99_ms": round(percentile(0.99) * 1e3, 3),
+    }
+
+
+def append_trajectory(output: Path, entry: dict) -> None:
+    history = []
+    if output.exists():
+        try:
+            history = json.loads(output.read_text())
+        except (ValueError, OSError):
+            history = []
+        if not isinstance(history, list):
+            history = [history]
+    history.append(entry)
+    output.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--requests", type=int, default=4000,
+        help="total requests to push through the service (default: 4000)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=64,
+        help="concurrent client tasks (default: 64)",
+    )
+    parser.add_argument(
+        "--scale", default="mini",
+        help="network scale preset (default: mini)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="measurement repeats; the best run is recorded (default: 3)",
+    )
+    parser.add_argument(
+        "--output", default=str(ROOT / "BENCH_smoke.json"),
+        help="trajectory file to append to",
+    )
+    parser.add_argument(
+        "--label", default="", help="free-form tag stored with the entry"
+    )
+    parser.add_argument("--log-level", default="info")
+    args = parser.parse_args(argv)
+    configure_logging(args.log_level)
+
+    reporter.info(
+        f"service bench: scale={args.scale} requests={args.requests} "
+        f"clients={args.clients} repeats={args.repeats}"
+    )
+    network = build_session_network(SessionConfig(scale=args.scale))
+    best = None
+    for _ in range(args.repeats):
+        result = run_bench(network, args.requests, args.clients)
+        if best is None or result["req_per_second"] > best["req_per_second"]:
+            best = result
+        reporter.info(
+            f"  {result['req_per_second']:.0f} req/s  "
+            f"p50 {result['p50_ms']:.2f} ms  p99 {result['p99_ms']:.2f} ms"
+        )
+
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "label": args.label,
+        "scale": args.scale,
+        "machine": host_fingerprint(),
+        "python": platform.python_version(),
+        "telemetry": False,
+        "service": best,
+    }
+    append_trajectory(Path(args.output), entry)
+    reporter.info(
+        f"best {best['req_per_second']:.0f} req/s -> appended to {args.output}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

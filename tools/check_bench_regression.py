@@ -18,6 +18,11 @@ smoke entry): the numpy backend must beat the python reference on
 forwarding throughput by at least ``--kernel-speedup`` (default 3x) —
 skipped when the recording install had no numpy backend.
 
+And gates measurement-service throughput entries (as appended by
+``tools/bench_service.py``): the latest ``service`` entry's sustained
+``req_per_second`` must stay within ``--threshold`` of the best prior
+same-machine, same-shape (requests/clients/workers) entry.
+
 Exit status: 1 when throughput dropped more than ``--threshold`` (default
 10%) below the baseline or the shard speedup is under the floor; 0
 otherwise, including when there is no prior same-machine baseline yet
@@ -150,6 +155,53 @@ def check_kernel_speedup(history: list, min_speedup: float) -> int:
     return 0 if speedup >= min_speedup else 1
 
 
+def check_service_throughput(history: list, threshold: float) -> int:
+    """Gate the latest ``service`` entry (``tools/bench_service.py``).
+
+    Sustained requests/second through the measurement-service pipeline
+    must stay within ``threshold`` of the best prior entry recorded on
+    the same machine with the same workload shape (requests, clients,
+    workers) — entries with different shapes measure different regimes.
+    """
+    candidates = [
+        e for e in history
+        if not e.get("telemetry", False)
+        and e.get("service", {}).get("req_per_second")
+    ]
+    if not candidates:
+        reporter.info("no service throughput entries; nothing to check")
+        return 0
+    latest = candidates[-1]
+    machine = latest.get("machine", "")
+    shape = tuple(
+        latest["service"].get(k) for k in ("requests", "clients", "workers")
+    )
+    latest_rps = float(latest["service"]["req_per_second"])
+    baseline = [
+        float(e["service"]["req_per_second"])
+        for e in candidates[:-1]
+        if e.get("machine", "") == machine
+        and tuple(
+            e["service"].get(k) for k in ("requests", "clients", "workers")
+        ) == shape
+    ]
+    if not baseline:
+        reporter.info(
+            f"no prior service baseline for machine {machine or '?'!s}; "
+            f"recording {latest_rps:.1f} req/s as the first entry"
+        )
+        return 0
+    best = max(baseline)
+    floor = best * (1.0 - threshold)
+    verdict = "OK" if latest_rps >= floor else "REGRESSION"
+    reporter.info(
+        f"service throughput: {latest_rps:.1f} req/s vs baseline "
+        f"{best:.1f} (floor {floor:.1f}, threshold {threshold:.0%}) "
+        f"on {machine}: {verdict}"
+    )
+    return 0 if latest_rps >= floor else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("trajectory", help="BENCH_smoke.json path")
@@ -188,7 +240,8 @@ def main(argv=None) -> int:
     status = check(history, args.threshold)
     shard_status = check_shard_scaling(history, args.shard_speedup)
     kernel_status = check_kernel_speedup(history, args.kernel_speedup)
-    return status or shard_status or kernel_status
+    service_status = check_service_throughput(history, args.threshold)
+    return status or shard_status or kernel_status or service_status
 
 
 if __name__ == "__main__":
