@@ -14,7 +14,10 @@ recovery study; see ``--fault-schedules``), traffic (end-to-end
 data-plane workloads: goodput, latency, utilization, cache hit rates),
 serve (a scripted session of the always-on measurement service: seeded
 multi-client load against a persistent network under a virtual clock;
-see ``--clients``/``--seed``/``--wall``), all.
+see ``--clients``/``--seed``/``--wall``; ``--scenario`` hosts a compiled
+scenario network), scenarios (declarative deployment-diversity scenario
+families compiled by ``repro.scenario``; see ``--family``/
+``--scenario-file``/``--list-families``), all.
 
 ``--jobs N`` fans independent beaconing series out over N worker
 processes; ``--jobs 1`` (the default) runs the same code path serially and
@@ -40,6 +43,7 @@ from .faults import run_faults
 from .figure5 import run_figure5
 from .figure6 import run_figure6
 from .gridsearch import run_gridsearch
+from .scenarios import run_scenarios
 from .scionlab import run_scionlab
 from .table1 import run_table1
 from .traffic import run_traffic
@@ -55,7 +59,7 @@ def main(argv=None) -> int:
         choices=[
             "table1", "figure5", "figure6", "figure6a", "figure6b",
             "figure7", "figure8", "figure9", "scionlab", "gridsearch",
-            "faults", "traffic", "serve", "all",
+            "faults", "traffic", "serve", "scenarios", "all",
         ],
     )
     parser.add_argument("--scale", default="bench")
@@ -141,8 +145,37 @@ def main(argv=None) -> int:
         choices=LEVELS,
         help="reporter verbosity (default: info, plain stdout lines)",
     )
+    scenarios = parser.add_argument_group(
+        "scenarios", "declarative deployment scenarios (experiment 'scenarios')"
+    )
+    scenarios.add_argument(
+        "--family",
+        default=None,
+        help=(
+            "built-in scenario family to run (see --list-families); "
+            "mutually exclusive with --scenario-file"
+        ),
+    )
+    scenarios.add_argument(
+        "--scenario-file",
+        default=None,
+        help="run one scenario spec from a TOML/JSON file",
+    )
+    scenarios.add_argument(
+        "--list-families",
+        action="store_true",
+        help="list the built-in scenario families and exit",
+    )
     serve = parser.add_argument_group(
         "serve", "scripted measurement-service sessions (experiment 'serve')"
+    )
+    serve.add_argument(
+        "--scenario",
+        default=None,
+        help=(
+            "serve a compiled scenario network (TOML/JSON spec file) "
+            "instead of a built-in scale's network"
+        ),
     )
     serve.add_argument(
         "--clients", type=int, default=1000,
@@ -186,6 +219,17 @@ def main(argv=None) -> int:
     if args.experiment == "serve":
         return _run_serve(args, reporter)
     scale = get_scale(args.scale)
+    if args.experiment == "scenarios":
+        if args.list_families:
+            from .scenarios import render_family_list
+
+            reporter.info(render_family_list(scale.name))
+            return 0
+        if bool(args.family) == bool(args.scenario_file):
+            parser.error(
+                "scenarios needs exactly one of --family or "
+                "--scenario-file (or --list-families)"
+            )
     shards = _resolve_shards(args.shards, scale, parser)
     if args.backend not in available_backends():
         parser.error(
@@ -224,6 +268,12 @@ def main(argv=None) -> int:
             scale, num_schedules=args.fault_schedules, runtime=rt
         ).render(),
         "traffic": lambda rt: run_traffic(scale, runtime=rt).render(),
+        "scenarios": lambda rt: run_scenarios(
+            scale,
+            family=args.family,
+            scenario_file=args.scenario_file,
+            runtime=rt,
+        ).render(),
     }
     names = list(runners) if args.experiment == "all" else [args.experiment]
     if args.experiment == "all":
@@ -258,8 +308,23 @@ def _run_serve(args, reporter) -> int:
         run_session,
     )
 
+    network = None
+    endpoints = None
+    scale_label = args.scale
+    if args.scenario:
+        # Host a compiled scenario network instead of a built-in scale's:
+        # compile the spec, run its control plane once, and pin the load
+        # generator to the scenario's endpoint ASes.
+        from ..control.network import ScionNetwork
+        from ..scenario import compile_scenario, load_spec
+
+        spec = load_spec(args.scenario)
+        compiled = compile_scenario(spec)
+        network = ScionNetwork(compiled.topology, algorithm="diversity").run()
+        endpoints = list(compiled.endpoints)
+        scale_label = f"scenario:{spec.name}"
     config = SessionConfig(
-        scale=args.scale,
+        scale=scale_label,
         load=LoadConfig(
             num_clients=args.clients,
             requests_per_client=args.requests_per_client,
@@ -276,7 +341,9 @@ def _run_serve(args, reporter) -> int:
     collect = bool(args.metrics_out or args.trace_out or args.profile)
     telemetry = Telemetry.collecting(profile=args.profile) if collect else None
     start = time.time()
-    report = run_session(config, obs=telemetry)
+    report = run_session(
+        config, obs=telemetry, network=network, endpoints=endpoints
+    )
     reporter.info(report.render())
     if args.snapshot_out:
         with open(args.snapshot_out, "w") as handle:

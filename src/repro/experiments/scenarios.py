@@ -1,0 +1,60 @@
+"""The ``scenarios`` experiment: run declarative deployment scenarios.
+
+A thin adapter between the CLI and :mod:`repro.scenario`: resolve what to
+run (a built-in family at the current scale, or a spec file) and dispatch
+through the shared :class:`~repro.runtime.ExperimentRuntime`, so
+``--jobs``/``--shards``/``--backend``/caching/telemetry behave exactly
+like every other experiment::
+
+    python -m repro.experiments scenarios --family hijack-isolation
+    python -m repro.experiments scenarios --scenario-file examples/scenario_partial_deployment.toml
+    python -m repro.experiments scenarios --list-families
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..runtime import ExperimentRuntime
+from ..scenario import (
+    FamilyRunResult,
+    ScenarioRunResult,
+    build_family,
+    family_names,
+    load_spec,
+    run_family,
+    run_scenario,
+)
+from .config import ExperimentScale
+
+__all__ = ["run_scenarios", "render_family_list"]
+
+
+def render_family_list(scale_name: str = "test") -> str:
+    """The built-in families with their variant counts at one scale."""
+    lines = [f"Built-in scenario families (scale={scale_name}):"]
+    for name in family_names():
+        specs = build_family(name, scale_name)
+        variants = ", ".join(spec.name for spec in specs)
+        lines.append(f"  {name:24s} {len(specs)} variant(s): {variants}")
+    return "\n".join(lines)
+
+
+def run_scenarios(
+    scale: ExperimentScale,
+    *,
+    family: Optional[str] = None,
+    scenario_file: Optional[str] = None,
+    runtime: Optional[ExperimentRuntime] = None,
+) -> Union[FamilyRunResult, ScenarioRunResult]:
+    """Run one built-in family or one spec file; exactly one must be set."""
+    if bool(family) == bool(scenario_file):
+        raise ValueError(
+            "pass exactly one of family= or scenario_file= "
+            "(see --list-families for the built-ins)"
+        )
+    rt = runtime if runtime is not None else ExperimentRuntime()
+    if scenario_file:
+        spec = load_spec(scenario_file)
+        return run_scenario(spec, runtime=rt)
+    return run_family(family, scale.name, runtime=rt)

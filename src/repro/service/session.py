@@ -142,13 +142,23 @@ def run_session(
     *,
     obs: Optional[Telemetry] = None,
     network: Optional[ScionNetwork] = None,
+    endpoints: Optional[List[int]] = None,
 ) -> SessionReport:
-    """Run one scripted session end to end and return its report."""
+    """Run one scripted session end to end and return its report.
+
+    ``endpoints`` pins the client endpoint ASes; the default is every
+    non-core AS. Compiled scenarios pass their endpoint set so auxiliary
+    non-core ASes (e.g. exposed-IXP sites) never originate load.
+    """
     config = config or SessionConfig()
     obs = obs if obs is not None else NULL_TELEMETRY
     network = network if network is not None else build_session_network(config)
     generator = LoadGenerator(
-        sorted(network.topology.non_core_asns()),
+        sorted(
+            endpoints
+            if endpoints is not None
+            else network.topology.non_core_asns()
+        ),
         config.load,
         fault_links=leaf_fault_links(network),
     )

@@ -74,6 +74,13 @@ class TrafficSpec:
     legacy_fraction: float = 0.0
     fault_plan: Optional[TrafficFaultPlan] = None
     seed: int = 0
+    #: Explicit endpoint ASes. ``None`` (the default) uses every non-core
+    #: AS of the topology; scenario compiles pin the set so auxiliary
+    #: non-core ASes (e.g. exposed-IXP sites) never source traffic.
+    endpoints: Optional[Tuple[int, ...]] = None
+    #: Explicit SIG-fronted endpoints. ``None`` derives the set from
+    #: ``legacy_fraction``; scenario compiles pin the rump ∪ SIG set.
+    legacy_asns: Optional[Tuple[int, ...]] = None
 
     def result_key(self, topology_fp: str) -> str:
         """Cache key of this run's result (spec is pure primitives)."""
@@ -178,13 +185,22 @@ def execute_traffic_run(task: TrafficTask) -> TrafficOutcome:
     timings["control"] = time.perf_counter() - start
 
     start = time.perf_counter()
-    endpoints = sorted(topology.non_core_asns())
+    endpoints = (
+        sorted(spec.endpoints)
+        if spec.endpoints is not None
+        else sorted(topology.non_core_asns())
+    )
+    legacy = (
+        tuple(sorted(spec.legacy_asns))
+        if spec.legacy_asns is not None
+        else select_legacy_asns(endpoints, spec.legacy_fraction)
+    )
     generator = FlowGenerator(endpoints, spec.flow_config)
     engine = TrafficEngine(
         network,
         generator,
         spec.traffic_config,
-        legacy_asns=select_legacy_asns(endpoints, spec.legacy_fraction),
+        legacy_asns=legacy,
         name=spec.name,
         obs=tel,
         backend=task.backend,

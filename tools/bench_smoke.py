@@ -204,6 +204,42 @@ def kernel_benchmarks(repeats: int = 3) -> dict:
     return entry
 
 
+def scenario_compile_benchmark(repeats: int = 3) -> dict:
+    """Compile-time record for the declarative scenario compiler.
+
+    Lowers every built-in scenario family at TEST scale — the full
+    spec → topology/deployment/overlay pipeline, no simulation runs —
+    and records best-of-``repeats`` wall time. Compilation is the fixed
+    cost every scenario experiment pays before its first cached phase,
+    so a slowdown here lands on every ``scenarios`` invocation.
+    """
+    from repro.scenario import build_family, compile_scenario, family_names
+
+    specs = [
+        spec
+        for family in family_names()
+        for spec in build_family(family, "test")
+    ]
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for spec in specs:
+            compile_scenario(spec)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    entry = {
+        "variants": len(specs),
+        "compile_seconds": round(best, 4),
+        "variants_per_second": round(len(specs) / best, 2),
+    }
+    reporter.info(
+        f"  scenario compile: {entry['variants']} variants in "
+        f"{entry['compile_seconds']:.2f}s "
+        f"({entry['variants_per_second']:.1f}/s)"
+    )
+    return entry
+
+
 def run_smoke(
     jobs: int,
     cache_dir: str | None,
@@ -331,6 +367,7 @@ def main(argv=None) -> int:
     }
     if not args.skip_kernels:
         entry["kernels"] = kernel_benchmarks()
+    entry["scenario_compile"] = scenario_compile_benchmark()
     append_trajectory(Path(args.output), entry)
     if telemetry is not None:
         if args.metrics_out:

@@ -23,6 +23,11 @@ And gates measurement-service throughput entries (as appended by
 ``req_per_second`` must stay within ``--threshold`` of the best prior
 same-machine, same-shape (requests/clients/workers) entry.
 
+And gates scenario-compiler entries (``scenario_compile`` section of a
+smoke entry): variants compiled per second over the built-in families
+must stay within ``--threshold`` of the best prior same-machine,
+same-variant-count entry.
+
 Exit status: 1 when throughput dropped more than ``--threshold`` (default
 10%) below the baseline or the shard speedup is under the floor; 0
 otherwise, including when there is no prior same-machine baseline yet
@@ -202,6 +207,51 @@ def check_service_throughput(history: list, threshold: float) -> int:
     return 0 if latest_rps >= floor else 1
 
 
+def check_scenario_compile(history: list, threshold: float) -> int:
+    """Gate the latest ``scenario_compile`` record (``bench_smoke.py``).
+
+    The scenario compiler's variants/second over the built-in families
+    must stay within ``threshold`` of the best prior telemetry-off entry
+    recorded on the same machine with the same variant count — a changed
+    variant count means the family set itself changed, which resets the
+    baseline rather than gating against a different workload.
+    """
+    candidates = [
+        e for e in history
+        if not e.get("telemetry", False)
+        and e.get("scenario_compile", {}).get("variants_per_second")
+    ]
+    if not candidates:
+        reporter.info("no scenario_compile entries; nothing to check")
+        return 0
+    latest = candidates[-1]
+    machine = latest.get("machine", "")
+    variants = latest["scenario_compile"].get("variants")
+    latest_vps = float(latest["scenario_compile"]["variants_per_second"])
+    baseline = [
+        float(e["scenario_compile"]["variants_per_second"])
+        for e in candidates[:-1]
+        if e.get("machine", "") == machine
+        and e["scenario_compile"].get("variants") == variants
+    ]
+    if not baseline:
+        reporter.info(
+            f"no prior scenario-compile baseline for machine "
+            f"{machine or '?'!s}; recording {latest_vps:.1f} variants/s "
+            f"as the first entry"
+        )
+        return 0
+    best = max(baseline)
+    floor = best * (1.0 - threshold)
+    verdict = "OK" if latest_vps >= floor else "REGRESSION"
+    reporter.info(
+        f"scenario compile: {latest_vps:.1f} variants/s vs baseline "
+        f"{best:.1f} (floor {floor:.1f}, threshold {threshold:.0%}) "
+        f"on {machine}: {verdict}"
+    )
+    return 0 if latest_vps >= floor else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("trajectory", help="BENCH_smoke.json path")
@@ -241,7 +291,14 @@ def main(argv=None) -> int:
     shard_status = check_shard_scaling(history, args.shard_speedup)
     kernel_status = check_kernel_speedup(history, args.kernel_speedup)
     service_status = check_service_throughput(history, args.threshold)
-    return status or shard_status or kernel_status or service_status
+    scenario_status = check_scenario_compile(history, args.threshold)
+    return (
+        status
+        or shard_status
+        or kernel_status
+        or service_status
+        or scenario_status
+    )
 
 
 if __name__ == "__main__":

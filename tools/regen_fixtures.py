@@ -26,6 +26,11 @@ from repro.experiments.figure5 import run_figure5  # noqa: E402
 from repro.experiments.figure6 import run_figure6  # noqa: E402
 from repro.experiments.traffic import run_traffic  # noqa: E402
 from repro.obs import get_reporter  # noqa: E402
+from repro.scenario import (  # noqa: E402
+    build_family,
+    compile_scenario,
+    family_names,
+)
 
 reporter = get_reporter("repro.tools.regen_fixtures")
 
@@ -85,6 +90,24 @@ def traffic_fixture() -> dict:
     return {"scale": result.scale_name, "series": series}
 
 
+def scenarios_fixture() -> dict:
+    """Compile manifests of every built-in family at the test scale.
+
+    The manifest is the canonical primitive projection of a compiled
+    scenario (topology fingerprint, deployment partition, IXP/leased
+    links, hijack roles, schedule hashes, run plan) — pinning it catches
+    any drift in the compiler's deterministic lowering without paying for
+    full scenario runs.
+    """
+    families = {}
+    for family in family_names():
+        families[family] = {
+            spec.name: compile_scenario(spec).manifest()
+            for spec in build_family(family, "test")
+        }
+    return {"scale": "test", "families": families}
+
+
 def write(name: str, payload: dict) -> None:
     path = FIXTURES / name
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -96,6 +119,7 @@ def main() -> int:
     write("figure5_test.json", figure5_fixture())
     write("figure6_test.json", figure6_fixture())
     write("traffic_test.json", traffic_fixture())
+    write("scenarios_test.json", scenarios_fixture())
     return 0
 
 
