@@ -213,6 +213,25 @@ class ScionNetwork:
 
     # -------------------------------------------------------------- lookup
 
+    def cache_counters(self) -> Dict[str, int]:
+        """Summed :class:`SegmentCache` counters across every path server.
+
+        The service's lookup spans take the delta of this dict around a
+        lookup, attributing segment-cache hits and misses to the request
+        that caused them.
+        """
+        totals = {"hit": 0, "miss": 0, "eviction": 0, "expiration": 0}
+        caches = []
+        for server in self.local_servers.values():
+            caches.append(server.down_cache)
+            caches.append(server.core_cache)
+        for server in self.core_servers.values():
+            caches.append(server.remote_cache)
+        for cache in caches:
+            for key, value in cache.counters().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
     def up_segments(self, asn: int) -> List[PathSegment]:
         """The AS's own up-segments, straight from its beacon store."""
         node = self.topology.as_node(asn)

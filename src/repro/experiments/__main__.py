@@ -31,12 +31,14 @@ printed after each experiment shows which phases were served from cache.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 from ..kernels import BACKEND_NAMES, available_backends
 from ..obs import Telemetry, configure_logging, get_reporter
 from ..obs.log import LEVELS
+from ..obs.slo import DEFAULT_SERVICE_SLOS, evaluate_slos, slo_summary
 from ..runtime import ExperimentRuntime, default_cache_dir, default_jobs
 from .config import get_scale
 from .faults import run_faults
@@ -127,8 +129,27 @@ def main(argv=None) -> int:
         "--trace-out",
         default=None,
         help=(
-            "write the trace-event stream (JSONL) to this path; convert "
+            "write the stitched causal spans + trace-event stream (JSONL) "
+            "to this path; inspect with tools/obs_report.py or convert "
             "with tools/trace_report.py for chrome://tracing"
+        ),
+    )
+    parser.add_argument(
+        "--slo-out",
+        default=None,
+        help=(
+            "write the SLO compliance summary (JSON) to this path; for "
+            "'serve' this is the session's live objectives, for "
+            "experiment runs it evaluates the merged registry"
+        ),
+    )
+    parser.add_argument(
+        "--flight-dir",
+        default=None,
+        help=(
+            "directory for flight-recorder post-mortem dumps (JSONL), "
+            "written when a request times out, retries exhaust, a "
+            "scenario deadlocks, or an invariant fails"
         ),
     )
     parser.add_argument(
@@ -238,8 +259,13 @@ def main(argv=None) -> int:
             "(pip install 'repro[numpy]')"
         )
 
-    collect = bool(args.metrics_out or args.trace_out or args.profile)
+    collect = bool(
+        args.metrics_out or args.trace_out or args.profile
+        or args.slo_out or args.flight_dir
+    )
     telemetry = Telemetry.collecting(profile=args.profile) if collect else None
+    if telemetry is not None and args.flight_dir:
+        telemetry.flight.configure(directory=args.flight_dir)
 
     def make_runtime() -> ExperimentRuntime:
         cache = None
@@ -290,6 +316,10 @@ def main(argv=None) -> int:
         else:
             output = runners[name](runtime)
         reporter.info(output)
+        if telemetry is not None and args.slo_out:
+            runtime.report.slo = slo_summary(
+                evaluate_slos(telemetry.metrics, DEFAULT_SERVICE_SLOS)
+            )
         if not args.no_timing and runtime.report.phases:
             reporter.info("")
             reporter.info(runtime.report.render())
@@ -338,8 +368,13 @@ def _run_serve(args, reporter) -> int:
         ),
         virtual=not args.wall,
     )
-    collect = bool(args.metrics_out or args.trace_out or args.profile)
+    collect = bool(
+        args.metrics_out or args.trace_out or args.profile
+        or args.slo_out or args.flight_dir
+    )
     telemetry = Telemetry.collecting(profile=args.profile) if collect else None
+    if telemetry is not None and args.flight_dir:
+        telemetry.flight.configure(directory=args.flight_dir)
     start = time.time()
     report = run_session(
         config, obs=telemetry, network=network, endpoints=endpoints
@@ -351,7 +386,7 @@ def _run_serve(args, reporter) -> int:
             handle.write("\n")
         reporter.info(f"[session snapshot written to {args.snapshot_out}]")
     if telemetry is not None:
-        _write_telemetry(telemetry, args, reporter)
+        _write_telemetry(telemetry, args, reporter, slo=report.slo)
     reporter.info(f"[serve completed in {time.time() - start:.1f}s]\n")
     return 0
 
@@ -376,7 +411,7 @@ def _resolve_shards(value: str, scale, parser) -> int:
     return shards
 
 
-def _write_telemetry(telemetry: Telemetry, args, reporter) -> None:
+def _write_telemetry(telemetry: Telemetry, args, reporter, *, slo=None) -> None:
     """Persist the merged telemetry per the CLI flags."""
     if args.metrics_out:
         with open(args.metrics_out, "w") as handle:
@@ -384,8 +419,40 @@ def _write_telemetry(telemetry: Telemetry, args, reporter) -> None:
             handle.write("\n")
         reporter.info(f"[metrics snapshot written to {args.metrics_out}]")
     if args.trace_out:
-        count = telemetry.trace.write_jsonl(args.trace_out)
-        reporter.info(f"[{count} trace events written to {args.trace_out}]")
+        # Causal spans lead (deterministic: derived ids, session-clock or
+        # logical-tick times, canonical stitched order), then the
+        # wall-clock trace-event stream. Readers tell them apart by shape
+        # — a causal record has "trace"/"span" keys, an event has "ph".
+        spans = telemetry.causal.stitched()
+        events = list(telemetry.trace.events)
+        with open(args.trace_out, "w") as handle:
+            for record in spans + events:
+                handle.write(json.dumps(record, sort_keys=True))
+                handle.write("\n")
+        reporter.info(
+            f"[{len(spans)} causal spans + {len(events)} trace events "
+            f"written to {args.trace_out}]"
+        )
+    if args.slo_out:
+        if slo is None:
+            slo = slo_summary(
+                evaluate_slos(telemetry.metrics, DEFAULT_SERVICE_SLOS)
+            )
+        with open(args.slo_out, "w") as handle:
+            json.dump(slo, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        reporter.info(f"[SLO summary written to {args.slo_out}]")
+    if telemetry.flight.enabled and telemetry.flight.dumps:
+        summary = telemetry.flight.summary()
+        reporter.info(
+            f"[flight recorder: {summary['dumps']} dump(s) "
+            f"({', '.join(summary['triggers'])})"
+            + (
+                f" in {telemetry.flight.directory}"
+                if telemetry.flight.directory is not None else ""
+            )
+            + "]"
+        )
     if args.profile:
         totals = {}
         for entry in telemetry.metrics.snapshot()["gauges"]:

@@ -11,6 +11,7 @@ versus ``--jobs N`` compare equal by pickle.
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from dataclasses import dataclass, field
@@ -19,6 +20,7 @@ from typing import Dict, Optional, Tuple
 from ..control.revocation import RevocationService
 from ..core.scoring import DiversityParams
 from ..obs import Telemetry
+from ..obs.context import NULL_CAUSAL_SPAN
 from ..runtime.cache import ExperimentCache, stable_key, topology_fingerprint
 from ..runtime.worker import _load_topology
 from ..simulation.beaconing import (
@@ -105,6 +107,10 @@ class FaultTask:
     #: backends are byte-identical by contract, so the choice must not
     #: change cache keys or results.
     backend: str = "python"
+    #: Causal-trace identity (see :class:`~repro.runtime.worker.
+    #: SeriesTask`); ``-1`` disables causal tracing for the task.
+    trace_index: int = -1
+    trace_seed: int = 0
 
 
 @dataclass
@@ -121,6 +127,7 @@ class FaultOutcome:
     #: cached outcome re-ran nothing, so it carries none.
     metrics: Optional[Dict] = None
     trace: Optional[list] = None
+    causal: Optional[list] = None
 
 
 def execute_fault_run(task: FaultTask) -> FaultOutcome:
@@ -155,6 +162,22 @@ def execute_fault_run(task: FaultTask) -> FaultOutcome:
             labels={"series": spec.name, "algorithm": spec.algorithm},
         )
 
+    # Causal root of this run's trace (see runtime.worker.execute_series
+    # for the determinism contract). ``causal.current`` is set before the
+    # simulation builds so shard workers parent their spans to this root.
+    root = NULL_CAUSAL_SPAN
+    if tel is not None and task.trace_index >= 0:
+        tel.causal.configure(
+            seed=task.trace_seed, worker=f"pid{os.getpid()}"
+        )
+        root = tel.causal.root(
+            task.trace_index,
+            "faults",
+            f"fault:{spec.name}",
+            algorithm=spec.algorithm,
+        )
+        tel.causal.current = root.ctx
+
     start = time.perf_counter()
     if task.shards > 1:
         # Imported lazily: single-process runs must not depend on the
@@ -185,11 +208,24 @@ def execute_fault_run(task: FaultTask) -> FaultOutcome:
         name=spec.name,
         obs=tel,
     )
+    run_span = (
+        tel.causal.begin(root.ctx, "faults", "run")
+        if tel is not None
+        else NULL_CAUSAL_SPAN
+    )
     result = injector.run()
+    run_span.end(
+        events=result.events_applied,
+        revocations=result.revocations_issued,
+    )
     if task.shards > 1:
         # Stops shard workers and (in process mode) merges their metric
-        # registries into ``tel`` before the snapshot below.
+        # registries — and shard causal spans — into ``tel`` before the
+        # snapshot below.
         sim.close()
+    # The root closes after sim.close() so shard spans (stamped with the
+    # coordinator's collect time) still nest inside it.
+    root.end(events=result.events_applied)
     timings["run"] = time.perf_counter() - start
 
     if cache is not None and result_key is not None:
@@ -199,4 +235,6 @@ def execute_fault_run(task: FaultTask) -> FaultOutcome:
         tel.export_profile()
         outcome.metrics = tel.metrics.snapshot()
         outcome.trace = list(tel.trace.events)
+        if tel.causal.enabled and task.trace_index >= 0:
+            outcome.causal = tel.causal.export()
     return outcome

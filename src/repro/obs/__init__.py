@@ -1,15 +1,24 @@
 """repro.obs — zero-dependency observability for the whole stack.
 
-Three cooperating pieces, bundled by :class:`Telemetry`:
+Five cooperating pieces, bundled by :class:`Telemetry`:
 
 * :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges and
-  fixed-bucket histograms with labels, Prometheus text exposition, JSON
-  snapshots, and an order-independent merge for process-pool fan-out;
+  fixed-bucket histograms with labels and quantiles, Prometheus text
+  exposition, JSON snapshots, and an order-independent merge for
+  process-pool fan-out;
 * :class:`~repro.obs.trace.TraceRecorder` — structured span/instant
   events on a monotonic clock, written as JSONL and convertible to the
   Chrome trace-event format by ``tools/trace_report.py``;
+* :class:`~repro.obs.context.CausalTracer` — request-scoped causal
+  spans with deterministic trace/span ids, parent links across process
+  boundaries, and commutative stitching;
+* :class:`~repro.obs.flight.FlightRecorder` — bounded per-subsystem
+  event rings dumped as a JSONL post-mortem on failure triggers;
 * :class:`~repro.obs.profile.Profiler` — an opt-in sampling timer for
   the simulator event loop and the forwarding loop.
+
+SLO evaluation (:mod:`repro.obs.slo`) reads the registry; it carries no
+state of its own and so is not part of the bundle.
 
 Instrumented components default to :data:`NULL_TELEMETRY`, whose parts
 are all disabled: the hot-path cost of unused telemetry is an attribute
@@ -21,10 +30,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
 
+from .context import (
+    CausalTracer,
+    TraceContext,
+    causal_to_chrome,
+    span_problems,
+)
+from .flight import FlightRecorder
 from .log import configure as configure_logging
 from .log import get_reporter
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profile import Profiler
+from .slo import (
+    DEFAULT_SERVICE_SLOS,
+    SLOSpec,
+    evaluate_slos,
+    slo_summary,
+)
 from .trace import (
     TraceRecorder,
     category_summary,
@@ -39,11 +61,20 @@ __all__ = [
     "MetricsRegistry",
     "Profiler",
     "TraceRecorder",
+    "CausalTracer",
+    "TraceContext",
+    "FlightRecorder",
+    "SLOSpec",
+    "DEFAULT_SERVICE_SLOS",
+    "evaluate_slos",
+    "slo_summary",
     "Telemetry",
     "NULL_TELEMETRY",
     "configure_logging",
     "get_reporter",
     "chrome_trace",
+    "causal_to_chrome",
+    "span_problems",
     "category_summary",
     "format_category_summary",
 ]
@@ -60,11 +91,20 @@ class Telemetry:
         default_factory=lambda: TraceRecorder(enabled=False)
     )
     profile: Profiler = field(default_factory=lambda: Profiler(enabled=False))
+    causal: CausalTracer = field(
+        default_factory=lambda: CausalTracer(enabled=False)
+    )
+    flight: FlightRecorder = field(
+        default_factory=lambda: FlightRecorder(enabled=False)
+    )
 
     @property
     def enabled(self) -> bool:
         return (
-            self.metrics.enabled or self.trace.enabled or self.profile.enabled
+            self.metrics.enabled
+            or self.trace.enabled
+            or self.profile.enabled
+            or self.causal.enabled
         )
 
     @classmethod
@@ -79,6 +119,8 @@ class Telemetry:
             metrics=MetricsRegistry(enabled=True, const_labels=labels),
             trace=TraceRecorder(enabled=True, measure_overhead=profile),
             profile=Profiler(enabled=profile),
+            causal=CausalTracer(enabled=True),
+            flight=FlightRecorder(enabled=True),
         )
 
     def export_profile(self) -> None:
@@ -114,14 +156,18 @@ class Telemetry:
         trace_events: Optional[list],
         *,
         extra_labels: Optional[Mapping[str, str]] = None,
+        causal_spans: Optional[list] = None,
     ) -> None:
-        """Fold one worker outcome (snapshot + events) into this bundle."""
+        """Fold one worker outcome (snapshot + events + causal spans)
+        into this bundle."""
         if metrics_snapshot:
             self.metrics.merge_snapshot(
                 metrics_snapshot, extra_labels=extra_labels
             )
         if trace_events:
             self.trace.extend(trace_events)
+        if causal_spans:
+            self.causal.extend(causal_spans)
 
 
 #: Shared disabled bundle; the default for every instrumented component.

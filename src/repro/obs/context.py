@@ -1,0 +1,437 @@
+"""Causal request tracing with deterministic, replayable identifiers.
+
+A :class:`TraceContext` names one node of a request's span tree: the
+trace it belongs to, its own span id, and its parent span. Identifiers
+are *derived*, never drawn — a trace id is a hash of ``(seed, index)``
+where ``index`` is a deterministic per-request counter (the service's
+``request_id``, a runtime task's slot), and span ids hash the trace id
+plus a per-``(trace, salt)`` mint counter. No ``random``, no wall clock:
+two replays of the same seeded scenario mint byte-identical ids, which
+is what lets stitched traces participate in the repo's byte-identical
+``--jobs 1`` vs ``--jobs N`` contract.
+
+Timestamps come from a pluggable ``clock`` callable. The measurement
+service passes its (virtual) clock, so span intervals are simulated
+seconds; workers without a meaningful shared clock default to a logical
+tick counter that still nests child intervals inside their parents.
+
+Cross-process propagation: a context serializes to a plain dict
+(:meth:`TraceContext.to_wire`), travels on the task/command, and the
+worker's tracer adopts it as the parent of everything it records. The
+worker's span list ships back in the outcome and is folded in with
+:meth:`CausalTracer.extend`; :meth:`CausalTracer.stitched` canonically
+sorts the merged stream, so stitching is commutative like the metrics
+merge. Span-id mint counters are namespaced by a ``salt`` (e.g. the
+shard index) so concurrent minters under one trace never collide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from hashlib import blake2b
+from typing import Callable, Dict, Iterable, List, Mapping, Optional
+
+__all__ = [
+    "TraceContext",
+    "CausalTracer",
+    "NULL_CAUSAL_SPAN",
+    "span_problems",
+    "build_span_trees",
+    "slowest_traces",
+    "trace_breakdown",
+    "format_span_tree",
+    "causal_to_chrome",
+]
+
+
+def _digest(text: str) -> str:
+    return blake2b(text.encode("utf-8"), digest_size=8).hexdigest()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One position in a request's span tree, serializable as a dict."""
+
+    trace_id: str
+    span_id: str = ""
+    parent_id: str = ""
+
+    def to_wire(self) -> Dict[str, str]:
+        return {"trace": self.trace_id, "span": self.span_id}
+
+    @classmethod
+    def from_wire(cls, wire: Mapping[str, str]) -> "TraceContext":
+        return cls(
+            trace_id=str(wire["trace"]), span_id=str(wire.get("span", ""))
+        )
+
+
+class _NullCausalSpan:
+    """Shared no-op handle returned by a disabled tracer."""
+
+    __slots__ = ()
+    ctx: Optional[TraceContext] = None
+
+    def end(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NullCausalSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_CAUSAL_SPAN = _NullCausalSpan()
+
+
+class _CausalSpan:
+    """An open span: holds its child context until :meth:`end` records it."""
+
+    __slots__ = ("tracer", "ctx", "category", "name", "t0", "attrs", "worker")
+
+    def __init__(self, tracer, ctx, category, name, t0, attrs, worker):
+        self.tracer = tracer
+        self.ctx = ctx
+        self.category = category
+        self.name = name
+        self.t0 = t0
+        self.attrs = attrs
+        self.worker = worker
+
+    def end(self, *, at: Optional[float] = None, **attrs) -> None:
+        if attrs:
+            self.attrs.update(attrs)
+        self.tracer._close(self, at)
+
+    def __enter__(self) -> "_CausalSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None and not issubclass(exc_type, GeneratorExit):
+            self.attrs["error"] = True
+            self.attrs.setdefault("reason", exc_type.__name__)
+        self.end()
+        return False
+
+
+class CausalTracer:
+    """Mints deterministic spans and stitches worker streams back in."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        *,
+        seed: int = 0,
+        clock: Optional[Callable[[], float]] = None,
+        worker: str = "",
+        salt: str = "",
+    ) -> None:
+        self.enabled = enabled
+        self.seed = seed
+        self.clock = clock
+        self.worker = worker
+        self.salt = salt
+        self.spans: List[Dict] = []
+        #: The context worker fan-out parents to (set by the task body).
+        self.current: Optional[TraceContext] = None
+        self._mint: Dict[tuple, int] = {}
+        self._tick = 0.0
+
+    def configure(
+        self,
+        *,
+        seed: Optional[int] = None,
+        clock: Optional[Callable[[], float]] = None,
+        worker: Optional[str] = None,
+        salt: Optional[str] = None,
+    ) -> "CausalTracer":
+        """Late binding of the deterministic inputs (seed, clock, lane)."""
+        if seed is not None:
+            self.seed = seed
+        if clock is not None:
+            self.clock = clock
+        if worker is not None:
+            self.worker = worker
+        if salt is not None:
+            self.salt = salt
+        return self
+
+    # ------------------------------------------------------------- identity
+
+    def trace_id(self, index: int) -> str:
+        """The trace id of deterministic request/task slot ``index``."""
+        return _digest(f"{self.seed}:{index}")
+
+    def derive_context(self, index: int) -> TraceContext:
+        """The root slot of trace ``index`` (no span minted yet)."""
+        return TraceContext(trace_id=self.trace_id(index))
+
+    def _mint_span_id(self, trace_id: str, salt: str) -> str:
+        key = (trace_id, salt)
+        n = self._mint.get(key, 0)
+        self._mint[key] = n + 1
+        return _digest(f"{trace_id}:{salt}:{n}")
+
+    def _now(self) -> float:
+        if self.clock is not None:
+            return self.clock()
+        self._tick += 1.0
+        return self._tick
+
+    def now(self) -> float:
+        """The current clock reading, without advancing the logical tick
+        (for retrospective spans anchored to a coordinator's timeline)."""
+        if self.clock is not None:
+            return self.clock()
+        return self._tick
+
+    # ------------------------------------------------------------ recording
+
+    def root(self, index: int, category: str, name: str, *,
+             at: Optional[float] = None, **attrs):
+        """Open the root span of trace slot ``index``."""
+        if not self.enabled:
+            return NULL_CAUSAL_SPAN
+        return self.begin(
+            self.derive_context(index), category, name, at=at, **attrs
+        )
+
+    def begin(self, parent: Optional[TraceContext], category: str, name: str,
+              *, at: Optional[float] = None, salt: Optional[str] = None,
+              worker: Optional[str] = None, **attrs):
+        """Open a span under ``parent`` (or a trace root when its span id
+        is empty); close it with ``handle.end()`` or as a context manager
+        (which tags ``error=True`` when the body raises)."""
+        if not self.enabled or parent is None:
+            return NULL_CAUSAL_SPAN
+        ctx = TraceContext(
+            trace_id=parent.trace_id,
+            span_id=self._mint_span_id(
+                parent.trace_id, self.salt if salt is None else salt
+            ),
+            parent_id=parent.span_id,
+        )
+        return _CausalSpan(
+            self, ctx, category, name,
+            self._now() if at is None else at,
+            dict(attrs),
+            self.worker if worker is None else worker,
+        )
+
+    span = begin  # the context-manager spelling reads better at call sites
+
+    def record(self, parent: Optional[TraceContext], category: str,
+               name: str, t0: float, t1: float, *,
+               salt: Optional[str] = None, worker: Optional[str] = None,
+               **attrs) -> Optional[TraceContext]:
+        """Record a retrospective span with explicit endpoints (e.g. a
+        queue wait measured between submit and worker pickup)."""
+        if not self.enabled or parent is None:
+            return None
+        handle = self.begin(
+            parent, category, name, at=t0, salt=salt, worker=worker, **attrs
+        )
+        handle.end(at=t1)
+        return handle.ctx
+
+    def _close(self, span: _CausalSpan, at: Optional[float]) -> None:
+        record = {
+            "trace": span.ctx.trace_id,
+            "span": span.ctx.span_id,
+            "parent": span.ctx.parent_id,
+            "cat": span.category,
+            "name": span.name,
+            "t0": round(span.t0, 9),
+            "t1": round(self._now() if at is None else at, 9),
+            "worker": span.worker,
+        }
+        if span.attrs:
+            record["args"] = span.attrs
+        self.spans.append(record)
+
+    # ------------------------------------------------------------- stitching
+
+    def export(self) -> List[Dict]:
+        """The recorded spans, for shipping across a process boundary."""
+        return list(self.spans)
+
+    def extend(self, spans: Iterable[Dict], *,
+               worker: Optional[str] = None) -> int:
+        """Fold a worker's shipped span list into this tracer."""
+        count = 0
+        for span in spans:
+            merged = dict(span)
+            if worker is not None:
+                merged["worker"] = worker
+            self.spans.append(merged)
+            count += 1
+        return count
+
+    def stitched(self) -> List[Dict]:
+        """The merged stream in canonical order — independent of worker
+        completion order, like the metrics merge."""
+        return sorted(
+            self.spans,
+            key=lambda s: (
+                s["trace"], s["t0"], s["t1"], s["name"], s["span"]
+            ),
+        )
+
+
+# ----------------------------------------------------------------- analysis
+
+
+def span_problems(spans: Iterable[Dict]) -> List[str]:
+    """Well-formedness violations of a stitched stream (empty = sound).
+
+    Checks that every non-root span's parent exists, that parent links
+    form no cycle, and that child intervals nest within their parents.
+    """
+    spans = list(spans)
+    by_id = {span["span"]: span for span in spans}
+    problems: List[str] = []
+    if len(by_id) != len(spans):
+        problems.append("duplicate span ids in stream")
+    for span in spans:
+        parent_id = span.get("parent", "")
+        if not parent_id:
+            continue
+        parent = by_id.get(parent_id)
+        if parent is None:
+            problems.append(
+                f"span {span['span']} ({span['name']}) has missing "
+                f"parent {parent_id}"
+            )
+            continue
+        if parent["trace"] != span["trace"]:
+            problems.append(
+                f"span {span['span']} parents across traces"
+            )
+        if not (
+            parent["t0"] <= span["t0"] and span["t1"] <= parent["t1"]
+        ):
+            problems.append(
+                f"span {span['span']} ({span['name']}) "
+                f"[{span['t0']}, {span['t1']}] escapes parent "
+                f"{parent['name']} [{parent['t0']}, {parent['t1']}]"
+            )
+    # Cycle check: walk each span's parent chain with a visited set.
+    for span in spans:
+        seen = set()
+        node = span
+        while node is not None and node.get("parent", ""):
+            if node["span"] in seen:
+                problems.append(
+                    f"cycle through span {span['span']} ({span['name']})"
+                )
+                break
+            seen.add(node["span"])
+            node = by_id.get(node["parent"])
+    return problems
+
+
+def build_span_trees(spans: Iterable[Dict]) -> Dict[str, List[Dict]]:
+    """Group a stream into per-trace trees: ``{trace_id: [root nodes]}``
+    where a node is ``{"span": record, "children": [nodes]}`` with
+    children in interval order."""
+    nodes = {
+        span["span"]: {"span": span, "children": []} for span in spans
+    }
+    trees: Dict[str, List[Dict]] = {}
+    for node in nodes.values():
+        span = node["span"]
+        parent = nodes.get(span.get("parent", ""))
+        if parent is not None:
+            parent["children"].append(node)
+        else:
+            trees.setdefault(span["trace"], []).append(node)
+    for node in nodes.values():
+        node["children"].sort(
+            key=lambda n: (n["span"]["t0"], n["span"]["t1"], n["span"]["span"])
+        )
+    for roots in trees.values():
+        roots.sort(key=lambda n: (n["span"]["t0"], n["span"]["span"]))
+    return trees
+
+
+def slowest_traces(spans: Iterable[Dict], top: int = 5) -> List[Dict]:
+    """The ``top`` root nodes by duration, slowest first (ties by id)."""
+    trees = build_span_trees(spans)
+    roots = [node for nodes in trees.values() for node in nodes]
+    roots.sort(
+        key=lambda n: (
+            -(n["span"]["t1"] - n["span"]["t0"]),
+            n["span"]["trace"],
+            n["span"]["span"],
+        )
+    )
+    return roots[:top]
+
+
+def trace_breakdown(root: Dict) -> Dict[str, float]:
+    """Critical-path legs of one tree: time per direct-child span name
+    (descendants fold into their top-level leg) plus the root's own
+    unattributed remainder under ``"(self)"``."""
+    span = root["span"]
+    total = span["t1"] - span["t0"]
+    legs: Dict[str, float] = {}
+    for child in root["children"]:
+        c = child["span"]
+        legs[c["name"]] = legs.get(c["name"], 0.0) + (c["t1"] - c["t0"])
+    legs["(self)"] = max(0.0, total - sum(legs.values()))
+    return legs
+
+
+def format_span_tree(root: Dict, indent: int = 0) -> List[str]:
+    """Render one tree as indented ``name [t0..t1] attrs`` lines."""
+    span = root["span"]
+    args = span.get("args", {})
+    attrs = (
+        " " + " ".join(f"{k}={args[k]}" for k in sorted(args))
+        if args else ""
+    )
+    duration = span["t1"] - span["t0"]
+    lines = [
+        f"{'  ' * indent}{span['cat']}/{span['name']} "
+        f"[{span['t0']:.6f}s +{duration:.6f}s]{attrs}"
+    ]
+    for child in root["children"]:
+        lines.extend(format_span_tree(child, indent + 1))
+    return lines
+
+
+def causal_to_chrome(spans: Iterable[Dict]) -> List[Dict]:
+    """Convert causal spans to Chrome trace events, one pid lane per
+    worker so stitched multi-worker traces render separately."""
+    spans = list(spans)
+    workers = sorted({span.get("worker", "") for span in spans})
+    lane = {worker: index for index, worker in enumerate(workers)}
+    events: List[Dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": index,
+            "tid": 0,
+            "args": {"name": f"worker:{worker or 'main'}"},
+        }
+        for worker, index in sorted(lane.items(), key=lambda kv: kv[1])
+    ]
+    for span in spans:
+        event = {
+            "ph": "X",
+            "cat": span["cat"],
+            "name": span["name"],
+            "ts": round(span["t0"] * 1e6, 3),
+            "dur": round((span["t1"] - span["t0"]) * 1e6, 3),
+            "pid": lane[span.get("worker", "")],
+            "tid": 0,
+            "args": {
+                "trace": span["trace"],
+                "span": span["span"],
+                "parent": span.get("parent", ""),
+                **span.get("args", {}),
+            },
+        }
+        events.append(event)
+    return events

@@ -129,6 +129,36 @@ class Histogram:
         self.sum += value
         self.count += 1
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear interpolation within the
+        owning bucket. Observations in the +Inf bucket clamp to the
+        largest finite bound (the Prometheus ``histogram_quantile``
+        convention); an empty histogram estimates 0."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for bound, count in zip(self.bounds, self.counts):
+            if count > 0 and cumulative + count >= rank:
+                return lower + (bound - lower) * (
+                    (rank - cumulative) / count
+                )
+            cumulative += count
+            lower = bound
+        return self.bounds[-1]
+
+    def quantiles(self) -> Dict[str, float]:
+        """The standard exposition set (p50/p95/p99), rounded so worker
+        merges and replays serialize identically."""
+        return {
+            "p50": round(self.quantile(0.50), 9),
+            "p95": round(self.quantile(0.95), 9),
+            "p99": round(self.quantile(0.99), 9),
+        }
+
 
 class MetricsRegistry:
     """Creates, stores, merges and serializes instruments.
@@ -226,6 +256,7 @@ class MetricsRegistry:
                     "counts": list(h.counts),
                     "sum": h.sum,
                     "count": h.count,
+                    "quantiles": h.quantiles(),
                 },
             ),
         }
@@ -275,6 +306,27 @@ class MetricsRegistry:
                 continue
             totals[name] = totals.get(name, 0.0) + instrument.value
         return totals
+
+    def histograms_named(
+        self, name: str
+    ) -> List[Tuple[Dict[str, str], Histogram]]:
+        """All label sets recorded under histogram ``name`` (for SLO
+        evaluation), as ``(labels, instrument)`` pairs in sorted order."""
+        return [
+            (dict(labels), instrument)
+            for (n, labels), instrument in sorted(self._histograms.items())
+            if n == name
+        ]
+
+    def counters_named(
+        self, name: str
+    ) -> List[Tuple[Dict[str, str], Counter]]:
+        """All label sets recorded under counter ``name``, sorted."""
+        return [
+            (dict(labels), instrument)
+            for (n, labels), instrument in sorted(self._counters.items())
+            if n == name
+        ]
 
     # ---------------------------------------------------------- exposition
 
@@ -328,4 +380,10 @@ class MetricsRegistry:
             lines.append(
                 f"{prom}_count{fmt_labels(labels)} {histogram.count}"
             )
+            for q, estimate in sorted(histogram.quantiles().items()):
+                quantile = f"0.{q[1:]}"
+                lines.append(
+                    f"{prom}{fmt_labels(labels + (('quantile', quantile),))}"
+                    f" {repr(estimate)}"
+                )
         return "\n".join(lines) + ("\n" if lines else "")

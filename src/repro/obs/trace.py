@@ -74,6 +74,11 @@ class _Span:
             "pid": 0,
             "tid": 0,
         }
+        if exc and exc[0] is not None:
+            # The body raised: still close the span, tagged so failed
+            # intervals stand out in the viewer and in reports.
+            self.args["error"] = True
+            self.args.setdefault("reason", exc[0].__name__)
         if self.args:
             event["args"] = self.args
         recorder._record(event)

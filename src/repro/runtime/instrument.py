@@ -56,6 +56,9 @@ class RunReport:
     #: Run-level aggregates folded in from the telemetry registry
     #: (``repro.obs``) when the run collected metrics.
     counters: Dict[str, float] = field(default_factory=dict)
+    #: SLO compliance summary (``repro.obs.slo``), populated when the run
+    #: evaluated objectives against its collected registry.
+    slo: Dict = field(default_factory=dict)
 
     @contextmanager
     def phase(
@@ -119,6 +122,7 @@ class RunReport:
             ).isoformat(),
             "total_seconds": round(self.total_seconds, 6),
             "counters": dict(self.counters),
+            "slo": dict(self.slo),
             "phases": [record.to_dict() for record in self.phases],
         }
 

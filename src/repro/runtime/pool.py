@@ -106,6 +106,11 @@ class ExperimentRuntime:
         #: order — so ``--jobs N`` snapshots match ``--jobs 1`` byte for
         #: byte.
         self.telemetry = telemetry
+        #: Next causal trace index. Assigned sequentially at task-prepare
+        #: time (deterministic submission order), so every task's trace id
+        #: is a pure function of (seed, position) — independent of which
+        #: worker runs it or when it completes.
+        self._trace_index = 0
 
     # --------------------------------------------------------- telemetry
 
@@ -125,8 +130,20 @@ class ExperimentRuntime:
             getattr(outcome, "metrics", None),
             getattr(outcome, "trace", None),
             extra_labels=extra,
+            causal_spans=getattr(outcome, "causal", None),
         )
         self.report.counters = self.telemetry.metrics.counter_totals()
+
+    def _trace_identity(self) -> dict:
+        """Causal identity kwargs for the next task (sequential index)."""
+        if not self._collecting or not self.telemetry.causal.enabled:
+            return {"trace_index": -1, "trace_seed": 0}
+        index = self._trace_index
+        self._trace_index += 1
+        return {
+            "trace_index": index,
+            "trace_seed": self.telemetry.causal.seed,
+        }
 
     # ------------------------------------------------------- cached values
 
@@ -184,6 +201,7 @@ class ExperimentRuntime:
         prepared = []
         for topology, spec in tasks:
             cache_dir, topology_key = self._ship_topology(topology)
+            identity = self._trace_identity()
             if cache_dir is None:
                 prepared.append(
                     FaultTask(
@@ -194,6 +212,7 @@ class ExperimentRuntime:
                         shards=self.shards,
                         shard_processes=self.shard_processes,
                         backend=self.backend,
+                        **identity,
                     )
                 )
             else:
@@ -207,6 +226,7 @@ class ExperimentRuntime:
                         shards=self.shards,
                         shard_processes=self.shard_processes,
                         backend=self.backend,
+                        **identity,
                     )
                 )
         workers = min(self.jobs, len(prepared))
@@ -242,6 +262,7 @@ class ExperimentRuntime:
         prepared = []
         for topology, spec in tasks:
             cache_dir, topology_key = self._ship_topology(topology)
+            identity = self._trace_identity()
             if cache_dir is None:
                 prepared.append(
                     TrafficTask(
@@ -250,6 +271,7 @@ class ExperimentRuntime:
                         telemetry=telemetry,
                         profile=profile,
                         backend=self.backend,
+                        **identity,
                     )
                 )
             else:
@@ -261,6 +283,7 @@ class ExperimentRuntime:
                         telemetry=telemetry,
                         profile=profile,
                         backend=self.backend,
+                        **identity,
                     )
                 )
         workers = min(self.jobs, len(prepared))
@@ -307,6 +330,7 @@ class ExperimentRuntime:
         cache_dir, topology_key = self._ship_topology(topology)
         telemetry = self._collecting
         profile = telemetry and self.telemetry.profile.enabled
+        identity = self._trace_identity()
         if cache_dir is None:
             return SeriesTask(
                 spec=spec,
@@ -316,6 +340,7 @@ class ExperimentRuntime:
                 shards=self.shards,
                 shard_processes=self.shard_processes,
                 backend=self.backend,
+                **identity,
             )
         return SeriesTask(
             spec=spec,
@@ -326,6 +351,7 @@ class ExperimentRuntime:
             shards=self.shards,
             shard_processes=self.shard_processes,
             backend=self.backend,
+            **identity,
         )
 
     def _record(self, outcome: SeriesOutcome) -> None:

@@ -19,6 +19,7 @@ so a resumed run is bit-identical to an uninterrupted one.
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from dataclasses import dataclass, field
@@ -27,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 from ..analysis.resilience import path_set_resilience
 from ..core.scoring import DiversityParams
 from ..obs import Telemetry
+from ..obs.context import NULL_CAUSAL_SPAN
 from ..simulation.beaconing import (
     BeaconingConfig,
     BeaconingSimulation,
@@ -136,6 +138,12 @@ class SeriesTask:
     #: backends are byte-identical by contract, so the choice must not
     #: change cache keys or results.
     backend: str = "python"
+    #: Causal-trace identity of this task: the runtime assigns sequential
+    #: indices so every task's spans land in their own trace, with ids
+    #: derived from (trace_seed, trace_index) — no randomness, no clock.
+    #: ``-1`` disables causal tracing for the task.
+    trace_index: int = -1
+    trace_seed: int = 0
 
 
 @dataclass
@@ -160,9 +168,11 @@ class SeriesOutcome:
     #: caller needs the raw paths rather than the resilience values.
     path_counts: Dict[Tuple[int, int], int] = field(default_factory=dict)
     #: Worker-side telemetry, shipped back for the parent to merge:
-    #: a MetricsRegistry snapshot and the recorded trace events.
+    #: a MetricsRegistry snapshot, the recorded trace events, and the
+    #: causal spans of this task's trace.
     metrics: Optional[Dict] = None
     trace: Optional[List] = None
+    causal: Optional[List] = None
 
 
 def _load_topology(task: SeriesTask) -> Topology:
@@ -203,6 +213,31 @@ def execute_series(task: SeriesTask) -> SeriesOutcome:
             },
         )
 
+    # Causal root span of this task's trace. Ids derive from
+    # (trace_seed, trace_index) and times from the tracer's logical tick
+    # counter, so the spans are byte-identical whether the task ran
+    # in-process or in a pool worker (the worker label is the only
+    # process-dependent field, and comparisons scrub it).
+    root = NULL_CAUSAL_SPAN
+    if tel is not None and task.trace_index >= 0:
+        tel.causal.configure(
+            seed=task.trace_seed, worker=f"pid{os.getpid()}"
+        )
+        root = tel.causal.root(
+            task.trace_index,
+            "runtime",
+            f"series:{spec.name}",
+            algorithm=spec.algorithm,
+            mode=spec.config.mode.value,
+        )
+        tel.causal.current = root.ctx
+
+    def phase_span(name: str, **attrs):
+        if tel is None:
+            return NULL_CAUSAL_SPAN
+        return tel.causal.begin(root.ctx, "runtime", name, **attrs)
+
+    span = phase_span("setup")
     start = time.perf_counter()
     topology = _load_topology(task)
     cache = ExperimentCache(task.cache_dir) if task.cache_dir else None
@@ -210,6 +245,7 @@ def execute_series(task: SeriesTask) -> SeriesOutcome:
         spec.snapshot_key(topology_fingerprint(topology)) if cache else None
     )
     timings["setup"] = time.perf_counter() - start
+    span.end()
 
     outcome = SeriesOutcome(
         name=spec.name,
@@ -280,20 +316,25 @@ def execute_series(task: SeriesTask) -> SeriesOutcome:
                 sim = cached_sim
                 outcome.warmup_cached = True
     if spec.warmup_intervals:
+        span = phase_span("warmup", cached=outcome.warmup_cached)
         if sim is None:
             sim = build_sim()
             sim.run_intervals(spec.warmup_intervals)
             sim.reset_metrics()
             store_sim(sim)
         timings["warmup"] = time.perf_counter() - start
+        span.end()
         # Telemetry attaches after the warm-up (cached or not), so only
         # the measured window is observed — identically on both paths.
         if tel is not None:
             sim.attach_telemetry(tel)
+        span = phase_span("measure", intervals=spec.config.num_intervals)
         start = time.perf_counter()
         sim.run_intervals(spec.config.num_intervals)
         timings["measure"] = time.perf_counter() - start
+        span.end()
     else:
+        span = phase_span("measure", cached=outcome.warmup_cached)
         if sim is None:
             sim = build_sim()
             if tel is not None:
@@ -301,12 +342,14 @@ def execute_series(task: SeriesTask) -> SeriesOutcome:
             sim.run()
             store_sim(sim)
         timings["measure"] = time.perf_counter() - start
+        span.end()
 
     outcome.intervals_run = sim.intervals_run
     outcome.total_pcbs = sim.metrics.total_pcbs
     outcome.total_bytes = sim.metrics.total_bytes
 
     # --- figure-specific collection --------------------------------------
+    span = phase_span("analyze")
     start = time.perf_counter()
     for asn in spec.collect_received:
         outcome.received_bytes[asn] = sim.metrics.bytes_received_by(asn)
@@ -322,15 +365,26 @@ def execute_series(task: SeriesTask) -> SeriesOutcome:
             outcome.duration, interfaces=sim.directed_interfaces()
         )
     timings["analyze"] = time.perf_counter() - start
+    span.end()
 
     if sharded:
         # Stops shard workers and (in process mode) merges their metric
-        # registries into ``tel`` — before the snapshot below, so sharded
-        # telemetry is byte-identical to single-process telemetry.
+        # registries — and shard causal spans — into ``tel`` before the
+        # snapshot below, so sharded telemetry is byte-identical to
+        # single-process telemetry.
         sim.close()
+    # The root closes after sim.close() so shard spans (stamped with the
+    # coordinator's collect time) still nest inside it.
+    root.end(
+        intervals=outcome.intervals_run,
+        pcbs=outcome.total_pcbs,
+        cached=outcome.warmup_cached,
+    )
     if tel is not None:
         tel.export_profile()
         outcome.metrics = tel.metrics.snapshot()
         outcome.trace = list(tel.trace.events)
+        if tel.causal.enabled and task.trace_index >= 0:
+            outcome.causal = tel.causal.export()
     outcome.timings = timings
     return outcome

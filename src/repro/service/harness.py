@@ -69,6 +69,7 @@ def run_virtual(
     *,
     clock: VirtualClock,
     max_steps: int = 10_000_000,
+    flight=None,
 ):
     """Run ``main()`` to completion under ``clock``, driving time itself.
 
@@ -76,7 +77,8 @@ def run_virtual(
     return its result; otherwise fire the next virtual timer and repeat.
     If the main task is still pending with no timer registered, every
     task is parked on a future nobody will resolve — a real deadlock —
-    and :class:`DeadlockError` is raised rather than hanging.
+    and :class:`DeadlockError` is raised rather than hanging (with a
+    flight-recorder post-mortem when a recorder is supplied).
     """
 
     async def _drive():
@@ -93,6 +95,11 @@ def run_virtual(
                         await task
                     except asyncio.CancelledError:
                         pass
+                    if flight is not None and flight.enabled:
+                        flight.dump(
+                            "deadlock",
+                            detail={"virtual_time": clock.now()},
+                        )
                     raise DeadlockError(
                         "main task pending with no virtual timer registered"
                     )
@@ -114,6 +121,9 @@ def check_invariants(
 ) -> Dict[str, int]:
     """Assert the service's global invariants; returns summary counts.
 
+    A failed invariant dumps a flight-recorder post-mortem (when the
+    service's telemetry carries an enabled recorder) before re-raising.
+
     Checks, over the full scenario:
 
     1. **conservation** — every submission produced exactly one response;
@@ -128,6 +138,21 @@ def check_invariants(
     5. **quiescent drain** — zero queued and zero in-flight requests
        (only meaningful after :meth:`MeasurementService.drain`).
     """
+    try:
+        return _check_invariants(service, responses, drained=drained)
+    except AssertionError as exc:
+        flight = service.obs.flight
+        if flight.enabled:
+            flight.dump("invariant_failure", detail={"error": str(exc)})
+        raise
+
+
+def _check_invariants(
+    service: MeasurementService,
+    responses: Iterable[Response],
+    *,
+    drained: bool,
+) -> Dict[str, int]:
     responses = list(responses)
     stats = service.stats
 

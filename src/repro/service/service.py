@@ -47,6 +47,12 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from ..control.network import ScionNetwork
 from ..obs import NULL_TELEMETRY, Telemetry
+from ..obs.slo import (
+    DEFAULT_SERVICE_SLOS,
+    SLOSpec,
+    evaluate_slos,
+    export_slo_gauges,
+)
 from ..traffic.engine import TrafficConfig, TrafficEngine
 from ..traffic.flows import Flow, FlowConfig, FlowGenerator
 from .clock import Clock, WallClock
@@ -103,6 +109,9 @@ class ServiceConfig:
     #: Record the admission journal (client, time, decision) for the
     #: invariant harness's exact rate-limit replay.
     journal: bool = True
+    #: Declarative objectives evaluated live by the maintenance loop and
+    #: folded into the session report (empty tuple disables).
+    slos: Tuple[SLOSpec, ...] = DEFAULT_SERVICE_SLOS
 
     def __post_init__(self) -> None:
         if self.workers < 1 or self.queue_depth < 1:
@@ -134,8 +143,9 @@ class _ClientLog:
         self.dropped = 0
 
 
-# Queue entries: (request_id, request, response_future, submitted_at).
-_QueueEntry = Tuple[int, Request, asyncio.Future, float]
+# Queue entries: (request_id, request, response_future, submitted_at,
+# open causal root span — a no-op handle when tracing is disabled).
+_QueueEntry = Tuple[int, Request, asyncio.Future, float, object]
 
 
 class MeasurementService:
@@ -305,7 +315,15 @@ class MeasurementService:
                 request_id, request, now, Status.REJECTED_RATE_LIMITED
             )
         future: asyncio.Future = asyncio.get_event_loop().create_future()
-        if not self._queue.try_put((request_id, request, future, now)):
+        # The request's causal root opens at admission and closes at the
+        # terminal response; its trace id derives from (seed, request_id).
+        root = self.obs.causal.root(
+            request_id, "service", request.kind.value,
+            at=now, client=request.client_id,
+        )
+        if not self._queue.try_put((request_id, request, future, now, root)):
+            # Discard the unclosed root (never recorded); _reject records
+            # the canonical zero-length root for this request instead.
             return self._reject(
                 request_id, request, now, Status.REJECTED_QUEUE_FULL
             )
@@ -315,6 +333,12 @@ class MeasurementService:
             self.stats["peak_queue_depth"] = depth
         if self.config.journal:
             self.journal.append((request.client_id, now, "accepted"))
+        if self.obs.flight.enabled:
+            self.obs.flight.record(
+                "admission", "accepted",
+                request=request_id, client=request.client_id,
+                kind=request.kind.value, depth=depth,
+            )
         if metrics.enabled:
             metrics.counter("service.accepted", labels).inc()
             metrics.gauge(
@@ -332,6 +356,21 @@ class MeasurementService:
         self.stats[status.value] += 1
         if self.config.journal:
             self.journal.append((request.client_id, now, status.value))
+        causal = self.obs.causal
+        if causal.enabled:
+            # Rejected requests still get a (zero-length) rooted trace,
+            # so every admitted-or-rejected request_id is accounted for.
+            causal.record(
+                causal.derive_context(request_id),
+                "service", request.kind.value, now, now,
+                client=request.client_id, status=status.value,
+            )
+        if self.obs.flight.enabled:
+            self.obs.flight.record(
+                "admission", status.value,
+                request=request_id, client=request.client_id,
+                kind=request.kind.value,
+            )
         metrics = self.obs.metrics
         if metrics.enabled:
             metrics.counter(
@@ -368,12 +407,17 @@ class MeasurementService:
                 entry = await self._queue.get()
             except QueueClosed:
                 return
-            request_id, request, future, submitted_at = entry
+            request_id, request, future, submitted_at, root = entry
             self._in_flight += 1
             if self._in_flight > self.stats["peak_in_flight"]:
                 self.stats["peak_in_flight"] = self._in_flight
             try:
-                wait = self.clock.now() - submitted_at
+                picked_up = self.clock.now()
+                wait = picked_up - submitted_at
+                self.obs.causal.record(
+                    root.ctx, "service", "queue.wait",
+                    submitted_at, picked_up,
+                )
                 metrics = self.obs.metrics
                 if metrics.enabled:
                     metrics.histogram(
@@ -387,27 +431,39 @@ class MeasurementService:
                         mode="max",
                     ).set(float(self.stats["peak_in_flight"]))
                 response = await self._execute(
-                    request_id, request, submitted_at
+                    request_id, request, submitted_at, root
                 )
             finally:
                 self._in_flight -= 1
+            root.end(
+                at=response.completed_at,
+                status=response.status.value,
+                attempts=response.attempts,
+            )
             self._record(response)
             if not future.done():
                 future.set_result(response)
 
     async def _execute(
-        self, request_id: int, request: Request, submitted_at: float
+        self, request_id: int, request: Request, submitted_at: float, root
     ) -> Response:
         """Attempt/retry loop producing exactly one terminal response."""
         config = self.config
+        causal = self.obs.causal
+        flight = self.obs.flight
         attempts = 0
         while True:
             attempts += 1
             self.stats["attempts"] += 1
+            attempt_span = causal.begin(
+                root.ctx, "service", "attempt",
+                at=self.clock.now(), n=attempts,
+            )
             try:
                 payload = await self._attempt_with_timeout(
-                    request_id, request
+                    request_id, request, attempt_span.ctx
                 )
+                attempt_span.end(at=self.clock.now(), status="ok")
                 return self._terminal(
                     request_id, request, Status.OK, attempts,
                     submitted_at, payload=payload,
@@ -416,8 +472,18 @@ class MeasurementService:
                 raise
             except BaseException as exc:  # noqa: BLE001 - classified below
                 retryable = classify_exception(exc)
+                attempt_span.end(
+                    at=self.clock.now(),
+                    error=True, reason=type(exc).__name__,
+                )
                 if retryable:
                     self.stats["timeouts_observed"] += 1
+                    if flight.enabled:
+                        flight.record(
+                            "execute", "attempt_timeout",
+                            request=request_id, attempt=attempts,
+                            kind=request.kind.value,
+                        )
                 if retryable and attempts < config.max_attempts:
                     self.stats["retries"] += 1
                     if self.obs.metrics.enabled:
@@ -427,13 +493,37 @@ class MeasurementService:
                     delay = config.backoff_base * (
                         config.backoff_factor ** (attempts - 1)
                     )
+                    backoff_start = self.clock.now()
                     await self.clock.sleep(delay)
+                    causal.record(
+                        root.ctx, "service", "backoff",
+                        backoff_start, self.clock.now(), attempt=attempts,
+                    )
                     continue
                 status = Status.TIMEOUT if retryable else Status.FAILED
-                return self._terminal(
+                response = self._terminal(
                     request_id, request, status, attempts, submitted_at,
                     error=f"{type(exc).__name__}: {exc}",
                 )
+                if flight.enabled:
+                    flight.record(
+                        "execute", status.value,
+                        request=request_id, attempts=attempts,
+                        kind=request.kind.value,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                    flight.dump(
+                        "request_timeout" if retryable
+                        else "request_failed",
+                        detail={
+                            "request": request_id,
+                            "client": request.client_id,
+                            "kind": request.kind.value,
+                            "attempts": attempts,
+                            "error": f"{type(exc).__name__}: {exc}",
+                        },
+                    )
+                return response
 
     def _terminal(
         self,
@@ -476,10 +566,10 @@ class MeasurementService:
         return response
 
     async def _attempt_with_timeout(
-        self, request_id: int, request: Request
+        self, request_id: int, request: Request, ctx=None
     ) -> Tuple:
         """One handler attempt under the per-attempt deadline."""
-        coro = self._dispatch(request_id, request)
+        coro = self._dispatch(request_id, request, ctx)
         timeout = self.config.request_timeout
         if timeout is None or timeout <= 0:
             return await coro
@@ -501,20 +591,22 @@ class MeasurementService:
             return request.cost
         return self.config.cost_of(request.kind)
 
-    async def _dispatch(self, request_id: int, request: Request) -> Tuple:
+    async def _dispatch(
+        self, request_id: int, request: Request, ctx=None
+    ) -> Tuple:
         if request.kind is RequestKind.LOOKUP_PATHS:
-            return await self._handle_lookup(request)
+            return await self._handle_lookup(request, ctx)
         if request.kind is RequestKind.SUBMIT_TRAFFIC:
-            return await self._handle_traffic(request_id, request)
+            return await self._handle_traffic(request_id, request, ctx)
         if request.kind is RequestKind.INJECT_FAULT:
-            return await self._handle_fault(request)
+            return await self._handle_fault(request, ctx)
         if request.kind is RequestKind.GET_RESULTS:
-            return await self._handle_results(request)
+            return await self._handle_results(request, ctx)
         raise ValueError(f"unknown request kind {request.kind!r}")
 
     # ------------------------------------------------------------- handlers
 
-    async def _handle_lookup(self, request: Request) -> Tuple:
+    async def _handle_lookup(self, request: Request, ctx=None) -> Tuple:
         """Path lookup through the path-server hierarchy + segment caches.
 
         The candidate set is computed synchronously (atomic on the loop),
@@ -525,16 +617,39 @@ class MeasurementService:
         set before the response is built (the invalidation-during-lookup
         hazard of DESIGN.md §10).
         """
+        causal = self.obs.causal
         revocations = self.network.revocations
         epoch_before = revocations.epoch if revocations is not None else 0
+        lookup_start = self.clock.now()
+        caches_before = (
+            self.network.cache_counters() if causal.enabled else None
+        )
         paths = self.network.lookup_paths(
             request.src, request.dst, now=self._sim_now()
         )
         paths = self._alive_paths(paths, revocations)
+        if causal.enabled:
+            caches_after = self.network.cache_counters()
+            causal.record(
+                ctx, "control", "lookup",
+                lookup_start, self.clock.now(),
+                candidates=len(paths),
+                cache_hits=caches_after["hit"] - caches_before["hit"],
+                cache_misses=caches_after["miss"] - caches_before["miss"],
+            )
+        service_start = self.clock.now()
         await self.clock.sleep(self._cost(request))
+        causal.record(
+            ctx, "service", "service_time", service_start, self.clock.now()
+        )
         if revocations is not None and revocations.epoch != epoch_before:
             paths = self._alive_paths(paths, revocations)
         best = paths[0].asns if paths else ()
+        if self.obs.flight.enabled:
+            self.obs.flight.record(
+                "lookup", "done", src=request.src, dst=request.dst,
+                candidates=len(paths),
+            )
         return ("paths", len(paths), best)
 
     def _alive_paths(self, paths, revocations):
@@ -548,9 +663,10 @@ class MeasurementService:
         return [p for p in paths if p.link_ids in alive_set]
 
     async def _handle_traffic(
-        self, request_id: int, request: Request
+        self, request_id: int, request: Request, ctx=None
     ) -> Tuple:
         """Serve one user flow end to end through the traffic engine."""
+        causal = self.obs.causal
         flow = Flow(
             flow_id=request_id,
             tick=0,
@@ -559,8 +675,18 @@ class MeasurementService:
             num_packets=max(1, request.num_packets),
             payload_bytes=request.payload_bytes,
         )
+        forward_start = self.clock.now()
         outcome = self.engine.serve_one(flow)
+        causal.record(
+            ctx, "traffic", "forward", forward_start, self.clock.now(),
+            delivered=outcome.delivered_packets,
+            completed=1 if outcome.completed else 0,
+        )
+        service_start = self.clock.now()
         await self.clock.sleep(self._cost(request))
+        causal.record(
+            ctx, "service", "service_time", service_start, self.clock.now()
+        )
         return (
             "traffic",
             outcome.delivered_packets,
@@ -568,7 +694,7 @@ class MeasurementService:
             outcome.latency if outcome.latency is not None else -1.0,
         )
 
-    async def _handle_fault(self, request: Request) -> Tuple:
+    async def _handle_fault(self, request: Request, ctx=None) -> Tuple:
         """Fail or recover one link through the §4.1 revocation machinery."""
         if request.action == "fail":
             self.network.fail_link(request.link_id)
@@ -576,17 +702,30 @@ class MeasurementService:
             self.network.recover_link(request.link_id)
         else:
             raise ValueError(f"unknown fault action {request.action!r}")
+        if self.obs.flight.enabled:
+            self.obs.flight.record(
+                "fault", request.action, link=request.link_id
+            )
+        service_start = self.clock.now()
         await self.clock.sleep(self._cost(request))
+        self.obs.causal.record(
+            ctx, "service", "service_time", service_start, self.clock.now(),
+            action=request.action,
+        )
         revocations = self.network.revocations
         epoch = revocations.epoch if revocations is not None else 0
         return ("fault", request.action, request.link_id, epoch)
 
-    async def _handle_results(self, request: Request) -> Tuple:
+    async def _handle_results(self, request: Request, ctx=None) -> Tuple:
         """A page of the requesting client's completed-request log."""
         page = self.results_page(
             request.client_id, request.offset, request.limit
         )
+        service_start = self.clock.now()
         await self.clock.sleep(self._cost(request))
+        self.obs.causal.record(
+            ctx, "service", "service_time", service_start, self.clock.now()
+        )
         return (
             "results",
             page.total,
@@ -663,8 +802,20 @@ class MeasurementService:
                 metrics.counter("service.maintenance_rounds", labels).inc()
                 if swept:
                     metrics.counter("service.cache_swept", labels).inc(swept)
+                # Live SLO evaluation: a Prometheus scrape between rounds
+                # sees current attainment and budget burn as slo.* gauges.
+                if self.config.slos:
+                    export_slo_gauges(
+                        metrics, evaluate_slos(metrics, self.config.slos)
+                    )
 
     # ------------------------------------------------------------ snapshots
+
+    def slo_results(self):
+        """Evaluate the configured SLOs against the live registry."""
+        if not (self.obs.metrics.enabled and self.config.slos):
+            return []
+        return evaluate_slos(self.obs.metrics, self.config.slos)
 
     def aggregate_snapshot(self) -> Dict:
         """Deterministic primitives summarizing the service's lifetime.

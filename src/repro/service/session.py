@@ -20,6 +20,7 @@ from ..control.network import ScionNetwork
 from ..experiments.common import build_full_stack_topology
 from ..experiments.config import TEST_SCALE, ExperimentScale, get_scale
 from ..obs import NULL_TELEMETRY, Telemetry
+from ..obs.slo import export_slo_gauges, slo_summary
 from .clients import LoadConfig, LoadGenerator
 from .clock import VirtualClock, WallClock
 from .harness import check_invariants, run_virtual
@@ -76,6 +77,10 @@ class SessionReport:
     duration_virtual: float
     aggregate: Dict = field(default_factory=dict)
     invariants: Dict = field(default_factory=dict)
+    #: SLO compliance summary (empty when telemetry was disabled).
+    slo: Dict = field(default_factory=dict)
+    #: Flight-recorder accounting (dumps taken/suppressed, events seen).
+    flight: Dict = field(default_factory=dict)
 
     def to_json(self) -> str:
         """Canonical JSON — the byte-identical replay artifact."""
@@ -87,6 +92,8 @@ class SessionReport:
                 "duration_virtual": round(self.duration_virtual, 9),
                 "aggregate": self.aggregate,
                 "invariants": self.invariants,
+                "slo": self.slo,
+                "flight": self.flight,
             },
             sort_keys=True,
             indent=2,
@@ -114,6 +121,22 @@ class SessionReport:
             f"peak in-flight {stats.get('peak_in_flight', 0)}  "
             f"virtual duration {self.duration_virtual:.3f}s",
         ]
+        if self.slo:
+            verdict = "OK" if self.slo.get("compliant") else "VIOLATED"
+            names = ", ".join(
+                f"{o['name']}={o['attained']:.4f}"
+                for o in self.slo.get("objectives", ())
+            )
+            lines.append(f"  SLOs {verdict}: {names}")
+        if self.flight.get("dumps"):
+            lines.append(
+                f"  flight recorder: {self.flight['dumps']} dump(s) "
+                f"({', '.join(self.flight.get('triggers', ()))})"
+                + (
+                    f", {self.flight['suppressed']} suppressed"
+                    if self.flight.get("suppressed") else ""
+                )
+            )
         return "\n".join(lines)
 
 
@@ -163,6 +186,10 @@ def run_session(
         fault_links=leaf_fault_links(network),
     )
     clock = VirtualClock() if config.virtual else WallClock()
+    # Causal trace ids derive from the load seed; span timestamps come
+    # from the session clock, so replays stitch byte-identical traces.
+    obs.causal.configure(seed=config.load.seed, clock=clock.now)
+    obs.flight.configure(clock=clock.now)
     service = MeasurementService(
         network, config=config.service, clock=clock, obs=obs
     )
@@ -174,7 +201,7 @@ def run_session(
         return responses
 
     if config.virtual:
-        responses = run_virtual(scenario, clock=clock)
+        responses = run_virtual(scenario, clock=clock, flight=obs.flight)
         duration = clock.now()
     else:
         import asyncio
@@ -185,6 +212,11 @@ def run_session(
         duration = time.monotonic() - start
 
     invariants = check_invariants(service, responses)
+    slo_results = service.slo_results()
+    if slo_results:
+        # Gauges reflect the end-of-run state even when the maintenance
+        # loop never got a chance to re-export them.
+        export_slo_gauges(obs.metrics, slo_results)
     return SessionReport(
         config_scale=config.scale,
         clients=config.load.num_clients,
@@ -192,4 +224,6 @@ def run_session(
         duration_virtual=duration,
         aggregate=service.aggregate_snapshot(),
         invariants=invariants,
+        slo=slo_summary(slo_results) if slo_results else {},
+        flight=obs.flight.summary() if obs.flight.enabled else {},
     )

@@ -262,12 +262,30 @@ class ShardedBeaconing:
         """Attach the telemetry bundle. Serial shards write into the
         coordinator's registry directly; process shards get their own
         registry with the same constant labels, merged commutatively at
-        :meth:`close` — byte-identical either way."""
+        :meth:`close` — byte-identical either way.
+
+        When the bundle carries an active causal trace, shards join it:
+        each records one ``shard:{index}`` span spanning attach→collect,
+        with both endpoints stamped here from the coordinator's clock so
+        serial and process shards produce identical spans."""
         self.obs = obs
+        causal = obs.causal
+        joining = causal.enabled and causal.current is not None
         if self.processes:
             if obs.metrics.enabled:
-                self._broadcast("telemetry", dict(obs.metrics.const_labels))
+                payload = {"labels": dict(obs.metrics.const_labels)}
+                if joining:
+                    payload["trace"] = {
+                        "seed": causal.seed,
+                        "parent": causal.current.to_wire(),
+                        "t0": causal.now(),
+                    }
+                self._broadcast("telemetry", payload)
         else:
+            if joining:
+                attach_t = causal.now()
+                for handle in self._handles:
+                    handle.sim.trace_attach_t = attach_t
             for handle in self._handles:
                 handle.sim.attach_telemetry(obs)
 
@@ -411,11 +429,16 @@ class ShardedBeaconing:
         do not. Idempotent."""
         if self._closed:
             return
-        self._reports = self._broadcast("collect")
+        collect_payload = None
+        if self.obs.causal.enabled:
+            collect_payload = {"t1": self.obs.causal.now()}
+        self._reports = self._broadcast("collect", collect_payload)
         if self.processes and self.obs.metrics.enabled:
             for report in self._reports:
                 if report.metrics_snapshot:
                     self.obs.metrics.merge_snapshot(report.metrics_snapshot)
+                if report.causal:
+                    self.obs.causal.extend(report.causal)
         for handle in self._handles:
             handle.stop()
         self._closed = True

@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..core.beacon_store import BeaconStore
 from ..core.policy import Transmission
 from ..obs import Telemetry
+from ..obs.context import TraceContext
 from ..simulation.beaconing import (
     AlgorithmFactory,
     BeaconingConfig,
@@ -64,6 +65,13 @@ class ShardSimulation(BeaconingSimulation):
     #: Which shard of the plan this simulation is; set by
     #: :meth:`ShardHostConfig.build`.
     shard_index: int = -1
+    #: Coordinator-clock time at which telemetry attached — the start of
+    #: this shard's causal span (``None`` until causal tracing attaches).
+    trace_attach_t: Optional[float] = None
+    #: Whether this shard owns its telemetry bundle (process mode) and
+    #: must ship causal spans back in its report; serial shards record
+    #: into the coordinator's tracer directly.
+    _own_telemetry: bool = False
 
     def __init__(
         self,
@@ -226,6 +234,8 @@ class ShardReport:
     #: Worker-side telemetry registry snapshot (process mode only; serial
     #: shards write into the coordinator's registry directly).
     metrics_snapshot: Optional[Dict] = None
+    #: Worker-side causal spans (process mode only, same reasoning).
+    causal: Optional[List] = None
 
 
 def dispatch(sim: ShardSimulation, command: str, payload: Any) -> Any:
@@ -259,16 +269,58 @@ def dispatch(sim: ShardSimulation, command: str, payload: Any) -> Any:
         sim.reset_metrics()
         return None
     if command == "telemetry":
-        sim.attach_telemetry(
-            Telemetry.collecting(profile=False, labels=payload)
-        )
+        # Payload is either the legacy plain labels dict or
+        # ``{"labels": ..., "trace": {"seed", "parent", "t0"}}``. The
+        # trace block joins this shard to the coordinator's causal trace:
+        # span ids mint under a per-shard salt and times come stamped
+        # with the coordinator's clock, so process mode reproduces the
+        # serial shards' spans byte for byte.
+        labels = payload
+        trace = None
+        if isinstance(payload, dict) and "labels" in payload:
+            labels = payload["labels"]
+            trace = payload.get("trace")
+        tel = Telemetry.collecting(profile=False, labels=labels)
+        if trace is not None:
+            tel.causal.configure(
+                seed=trace["seed"],
+                salt=f"s{sim.shard_index}",
+                worker=f"shard{sim.shard_index}",
+            )
+            tel.causal.current = TraceContext.from_wire(trace["parent"])
+            sim.trace_attach_t = trace["t0"]
+        sim._own_telemetry = True
+        sim.attach_telemetry(tel)
         return None
     if command == "snapshot":
         return sim
     if command == "collect":
         snapshot = None
+        causal = None
         if sim.obs.metrics.enabled:
             snapshot = sim.obs.metrics.snapshot()
+        tracer = sim.obs.causal
+        if (
+            tracer.enabled
+            and tracer.current is not None
+            and sim.trace_attach_t is not None
+        ):
+            t1 = sim.trace_attach_t
+            if isinstance(payload, dict) and "t1" in payload:
+                t1 = payload["t1"]
+            tracer.record(
+                tracer.current,
+                "shard",
+                f"shard:{sim.shard_index}",
+                sim.trace_attach_t,
+                t1,
+                salt=f"s{sim.shard_index}",
+                worker=f"shard{sim.shard_index}",
+                intervals=sim.intervals_run,
+                pcbs_lost=sim.pcbs_lost,
+            )
+            if sim._own_telemetry:
+                causal = tracer.export()
         return ShardReport(
             index=sim.shard_index,
             metrics=sim.metrics,
@@ -278,6 +330,7 @@ def dispatch(sim: ShardSimulation, command: str, payload: Any) -> Any:
             pcbs_lost=sim.pcbs_lost,
             intervals_run=sim.intervals_run,
             metrics_snapshot=snapshot,
+            causal=causal,
         )
     raise ValueError(f"unknown shard command {command!r}")
 

@@ -16,6 +16,7 @@ determinism contract. Every task builds its network fresh.
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from dataclasses import dataclass, field
@@ -24,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 from ..control.network import ScionNetwork
 from ..core.scoring import DiversityParams
 from ..obs import Telemetry
+from ..obs.context import NULL_CAUSAL_SPAN
 from ..obs.trace import NULL_SPAN
 from ..runtime.cache import ExperimentCache, stable_key, topology_fingerprint
 from ..runtime.worker import _load_topology
@@ -111,6 +113,10 @@ class TrafficTask:
     #: the choice must not change where a result is cached — both
     #: backends share cache entries.
     backend: str = "python"
+    #: Causal-trace identity (see :class:`~repro.runtime.worker.
+    #: SeriesTask`); ``-1`` disables causal tracing for the task.
+    trace_index: int = -1
+    trace_seed: int = 0
 
 
 @dataclass
@@ -126,6 +132,7 @@ class TrafficOutcome:
     #: cached outcome re-ran nothing, so it carries none.
     metrics: Optional[Dict] = None
     trace: Optional[List] = None
+    causal: Optional[List] = None
 
 
 def execute_traffic_run(task: TrafficTask) -> TrafficOutcome:
@@ -165,7 +172,28 @@ def execute_traffic_run(task: TrafficTask) -> TrafficOutcome:
             },
         )
 
+    # Causal root of this run's trace (see runtime.worker.execute_series
+    # for the determinism contract).
+    root = NULL_CAUSAL_SPAN
+    if tel is not None and task.trace_index >= 0:
+        tel.causal.configure(
+            seed=task.trace_seed, worker=f"pid{os.getpid()}"
+        )
+        root = tel.causal.root(
+            task.trace_index,
+            "traffic",
+            f"traffic:{spec.name}",
+            algorithm=spec.algorithm,
+            policy=spec.traffic_config.policy,
+        )
+        tel.causal.current = root.ctx
+
     start = time.perf_counter()
+    causal_control = (
+        tel.causal.begin(root.ctx, "traffic", "control")
+        if tel is not None
+        else NULL_CAUSAL_SPAN
+    )
     control_span = (
         tel.trace.span("traffic", "control", run=spec.name)
         if tel is not None
@@ -183,7 +211,13 @@ def execute_traffic_run(task: TrafficTask) -> TrafficOutcome:
             backend=task.backend,
         ).run()
     timings["control"] = time.perf_counter() - start
+    causal_control.end()
 
+    run_span = (
+        tel.causal.begin(root.ctx, "traffic", "run")
+        if tel is not None
+        else NULL_CAUSAL_SPAN
+    )
     start = time.perf_counter()
     endpoints = (
         sorted(spec.endpoints)
@@ -207,6 +241,10 @@ def execute_traffic_run(task: TrafficTask) -> TrafficOutcome:
     )
     result = engine.run(spec.fault_plan)
     timings["run"] = time.perf_counter() - start
+    run_span.end(
+        flows=result.flows_started, packets=result.packets_forwarded
+    )
+    root.end(flows=result.flows_started)
 
     if cache is not None and result_key is not None:
         cache.store(result_key, result)
@@ -215,4 +253,6 @@ def execute_traffic_run(task: TrafficTask) -> TrafficOutcome:
         tel.export_profile()
         outcome.metrics = tel.metrics.snapshot()
         outcome.trace = list(tel.trace.events)
+        if tel.causal.enabled and task.trace_index >= 0:
+            outcome.causal = tel.causal.export()
     return outcome

@@ -163,6 +163,19 @@ class TestTraceRecorder:
         trace.instant("c", "n")
         assert trace.events == []
 
+    def test_span_closes_tagged_when_body_raises(self):
+        """Regression: a raising body must still close the span, with the
+        failure tagged — not leak an open interval from the stream."""
+        trace = TraceRecorder()
+        with pytest.raises(RuntimeError):
+            with trace.span("cat", "work", tick=1):
+                raise RuntimeError("boom")
+        (span,) = trace.events
+        assert span["ph"] == "X" and span["dur"] >= 0
+        assert span["args"]["error"] is True
+        assert span["args"]["reason"] == "RuntimeError"
+        assert span["args"]["tick"] == 1
+
     def test_extend_assigns_worker_tracks(self):
         parent = TraceRecorder()
         worker = [{"ph": "X", "cat": "c", "name": "n", "ts": 0, "dur": 1}]

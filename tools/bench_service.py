@@ -29,6 +29,12 @@ ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
 from repro.obs import configure_logging, get_reporter  # noqa: E402
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
+from repro.obs.slo import (  # noqa: E402
+    BENCH_SERVICE_SLOS,
+    evaluate_slos,
+    slo_summary,
+)
 from repro.service import (  # noqa: E402
     MeasurementService,
     Request,
@@ -37,6 +43,7 @@ from repro.service import (  # noqa: E402
     SessionConfig,
     check_invariants,
 )
+from repro.service.service import SERVICE_LATENCY_BUCKETS  # noqa: E402
 from repro.service.session import build_session_network  # noqa: E402
 
 reporter = get_reporter("repro.tools.bench_service")
@@ -73,6 +80,31 @@ def plan_requests(endpoints, total: int, clients: int):
             )
         plans[index % clients].append(request)
     return plans
+
+
+def bench_slos(service) -> dict:
+    """Evaluate :data:`BENCH_SERVICE_SLOS` over the finished run.
+
+    Telemetry stays off during the timed run (its overhead would pollute
+    the throughput numbers), so the instruments the SLOs read are rebuilt
+    post-hoc from the service's own records: every completion latency
+    into the canonical latency histogram, every ``completed_*`` stat into
+    the completion counter under its status label.
+    """
+    registry = MetricsRegistry(enabled=True)
+    histogram = registry.histogram(
+        "service.latency_seconds", SERVICE_LATENCY_BUCKETS,
+        {"service": service.name},
+    )
+    for latency in service.latencies:
+        histogram.observe(latency)
+    for key, value in sorted(service.stats.items()):
+        if key.startswith("completed_") and value:
+            registry.counter(
+                "service.completed",
+                {"service": service.name, "status": key[len("completed_"):]},
+            ).inc(value)
+    return slo_summary(evaluate_slos(registry, BENCH_SERVICE_SLOS))
 
 
 def run_bench(network, total: int, clients: int) -> dict:
@@ -124,6 +156,7 @@ def run_bench(network, total: int, clients: int) -> dict:
             f"(stats: {service.stats})"
         )
     return {
+        "slo": bench_slos(service),
         "requests": total,
         "clients": clients,
         "workers": config.workers,
@@ -191,6 +224,7 @@ def main(argv=None) -> int:
             f"p50 {result['p50_ms']:.2f} ms  p99 {result['p99_ms']:.2f} ms"
         )
 
+    slo = best.pop("slo")
     entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "label": args.label,
@@ -199,10 +233,13 @@ def main(argv=None) -> int:
         "python": platform.python_version(),
         "telemetry": False,
         "service": best,
+        "slo": slo,
     }
     append_trajectory(Path(args.output), entry)
+    verdict = "compliant" if slo["compliant"] else "VIOLATED"
     reporter.info(
-        f"best {best['req_per_second']:.0f} req/s -> appended to {args.output}"
+        f"best {best['req_per_second']:.0f} req/s (SLOs {verdict}) -> "
+        f"appended to {args.output}"
     )
     return 0
 

@@ -23,6 +23,10 @@ And gates measurement-service throughput entries (as appended by
 ``req_per_second`` must stay within ``--threshold`` of the best prior
 same-machine, same-shape (requests/clients/workers) entry.
 
+And gates the service bench's SLO summary (``slo`` section of a service
+entry): the latest entry carrying one must be compliant — an absolute
+gate, since the bench objectives already encode the failure budget.
+
 And gates scenario-compiler entries (``scenario_compile`` section of a
 smoke entry): variants compiled per second over the built-in families
 must stay within ``--threshold`` of the best prior same-machine,
@@ -207,6 +211,33 @@ def check_service_throughput(history: list, threshold: float) -> int:
     return 0 if latest_rps >= floor else 1
 
 
+def check_service_slo(history: list) -> int:
+    """Gate the latest service-bench SLO summary (``tools/bench_service.py``).
+
+    Unlike the throughput gates this is absolute, not trajectory-relative:
+    the bench objectives (``BENCH_SERVICE_SLOS``) already encode the
+    tolerated failure budget, so the latest entry carrying an ``slo``
+    section simply must be compliant. Entries without one (older
+    trajectories) skip the gate.
+    """
+    candidates = [e for e in history if e.get("slo", {}).get("objectives")]
+    if not candidates:
+        reporter.info("no service SLO entries; nothing to check")
+        return 0
+    summary = candidates[-1]["slo"]
+    for entry in summary["objectives"]:
+        verdict = "OK" if entry.get("compliant") else "VIOLATED"
+        reporter.info(
+            f"service SLO {entry['name']}: attained "
+            f"{entry['attained']:.4%} / objective {entry['objective']:.2%} "
+            f"(budget burn {entry['budget']['burn']:.2f}): {verdict}"
+        )
+    if summary.get("compliant"):
+        return 0
+    reporter.info("service SLO compliance: VIOLATED")
+    return 1
+
+
 def check_scenario_compile(history: list, threshold: float) -> int:
     """Gate the latest ``scenario_compile`` record (``bench_smoke.py``).
 
@@ -291,12 +322,14 @@ def main(argv=None) -> int:
     shard_status = check_shard_scaling(history, args.shard_speedup)
     kernel_status = check_kernel_speedup(history, args.kernel_speedup)
     service_status = check_service_throughput(history, args.threshold)
+    slo_status = check_service_slo(history)
     scenario_status = check_scenario_compile(history, args.threshold)
     return (
         status
         or shard_status
         or kernel_status
         or service_status
+        or slo_status
         or scenario_status
     )
 

@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Post-mortem reporting over the observability artifacts of a run.
+
+Subcommands, each reading the files a run wrote:
+
+``tree``
+    Span trees and critical-path breakdowns of the slowest traces in a
+    causal trace stream (``--trace-out``), plus a well-formedness check
+    (every parent present, no cycles, child intervals nested).
+
+``slo``
+    The compliance table of an SLO summary (``--slo-out``).
+
+``diff``
+    What changed between two metrics snapshots (``--metrics-out``):
+    counter deltas, gauge movements, histogram count/quantile shifts.
+
+Examples::
+
+    PYTHONPATH=src python tools/obs_report.py tree trace.jsonl --top 3
+    PYTHONPATH=src python tools/obs_report.py slo slo.json
+    PYTHONPATH=src python tools/obs_report.py diff before.json after.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs import configure_logging, get_reporter  # noqa: E402
+from repro.obs.context import (  # noqa: E402
+    build_span_trees,
+    format_span_tree,
+    slowest_traces,
+    span_problems,
+    trace_breakdown,
+)
+
+reporter = get_reporter("repro.tools.obs_report")
+
+
+def load_json(path: str):
+    try:
+        return json.loads(Path(path).read_text())
+    except ValueError as exc:
+        raise SystemExit(f"{path}: not JSON ({exc})")
+    except OSError as exc:
+        raise SystemExit(f"{path}: {exc}")
+
+
+def load_spans(path: str) -> list:
+    """Causal spans from a ``--trace-out`` JSONL stream (raw trace
+    events on the same stream are skipped by shape)."""
+    spans = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise SystemExit(f"{path}:{lineno}: not JSON ({exc})")
+            if "trace" in record and "span" in record:
+                spans.append(record)
+    return spans
+
+
+# ----------------------------------------------------------------- tree
+
+
+def cmd_tree(args) -> int:
+    spans = load_spans(args.trace)
+    if args.trace_id:
+        spans = [s for s in spans if s["trace"] == args.trace_id]
+    if not spans:
+        raise SystemExit("no causal spans in the stream")
+    trees = build_span_trees(spans)
+    reporter.info(f"{len(spans)} spans across {len(trees)} traces")
+    problems = span_problems(spans)
+    if problems:
+        for problem in problems[:20]:
+            reporter.warning(f"malformed: {problem}")
+    else:
+        reporter.info("well-formed: parents present, acyclic, nested")
+    reporter.info("")
+    for root in slowest_traces(spans, top=args.top):
+        span = root["span"]
+        total = span["t1"] - span["t0"]
+        reporter.info(
+            f"trace {span['trace']}  {span['cat']}/{span['name']}  "
+            f"{total:.6f}s"
+        )
+        legs = trace_breakdown(root)
+        for name in sorted(legs, key=lambda n: -legs[n]):
+            share = legs[name] / total if total else 0.0
+            reporter.info(
+                f"    {name:24s} {legs[name]:12.6f}s  {share:6.1%}"
+            )
+        for line in format_span_tree(root, indent=1):
+            reporter.info(line)
+        reporter.info("")
+    return 0
+
+
+# ------------------------------------------------------------------ slo
+
+
+def cmd_slo(args) -> int:
+    summary = load_json(args.summary)
+    objectives = summary.get("objectives", [])
+    if not objectives:
+        raise SystemExit(f"{args.summary}: no objectives in summary")
+    verdict = "OK" if summary.get("compliant") else "VIOLATED"
+    reporter.info(f"SLO compliance ({verdict}):")
+    for entry in objectives:
+        target = (
+            f"<= {entry['threshold']}s"
+            if entry["kind"] == "latency"
+            else "errors ok"
+        )
+        burn = entry.get("budget", {}).get("burn", 0.0)
+        state = "OK" if entry.get("compliant") else "VIOLATED"
+        notes = entry.get("notes")
+        note = f" [{','.join(notes)}]" if notes else ""
+        reporter.info(
+            f"  {entry['name']:<24} {target:<12} attained "
+            f"{entry['attained']:>8.4%} / objective "
+            f"{entry['objective']:.2%}  budget burn {burn:.2f}  "
+            f"{state}{note}"
+        )
+    return 0 if summary.get("compliant") else 1
+
+
+# ----------------------------------------------------------------- diff
+
+
+def _keyed(entries):
+    return {
+        (e["name"], tuple(sorted(e["labels"].items()))): e for e in entries
+    }
+
+
+def _label_str(key) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{rendered}}}"
+
+
+def cmd_diff(args) -> int:
+    old = load_json(args.old)
+    new = load_json(args.new)
+    changes = 0
+    for section in ("counters", "gauges"):
+        before = _keyed(old.get(section, ()))
+        after = _keyed(new.get(section, ()))
+        for key in sorted(set(before) | set(after)):
+            v0 = before.get(key, {}).get("value", 0.0)
+            v1 = after.get(key, {}).get("value", 0.0)
+            if v0 == v1:
+                continue
+            changes += 1
+            reporter.info(
+                f"  {section[:-1]:<9} {_label_str(key):<56} "
+                f"{v0:>14g} -> {v1:<14g} ({v1 - v0:+g})"
+            )
+    before = _keyed(old.get("histograms", ()))
+    after = _keyed(new.get("histograms", ()))
+    for key in sorted(set(before) | set(after)):
+        h0 = before.get(key, {})
+        h1 = after.get(key, {})
+        if h0.get("count", 0) == h1.get("count", 0) and h0.get(
+            "quantiles"
+        ) == h1.get("quantiles"):
+            continue
+        changes += 1
+        q0 = h0.get("quantiles", {})
+        q1 = h1.get("quantiles", {})
+        reporter.info(
+            f"  histogram {_label_str(key):<56} count "
+            f"{h0.get('count', 0)} -> {h1.get('count', 0)}  "
+            f"p99 {q0.get('p99', 0.0):g} -> {q1.get('p99', 0.0):g}"
+        )
+    reporter.info(f"{changes} instrument(s) changed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--log-level", default="info")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tree = sub.add_parser("tree", help="span trees + critical paths")
+    tree.add_argument("trace", help="trace JSONL file (from --trace-out)")
+    tree.add_argument(
+        "--top", type=int, default=5,
+        help="how many of the slowest traces to expand (default: 5)",
+    )
+    tree.add_argument(
+        "--trace-id", default=None, help="restrict to one trace id"
+    )
+    tree.set_defaults(func=cmd_tree)
+
+    slo = sub.add_parser("slo", help="SLO compliance table")
+    slo.add_argument("summary", help="SLO summary JSON (from --slo-out)")
+    slo.set_defaults(func=cmd_slo)
+
+    diff = sub.add_parser("diff", help="metrics snapshot diff")
+    diff.add_argument("old", help="baseline metrics snapshot JSON")
+    diff.add_argument("new", help="comparison metrics snapshot JSON")
+    diff.set_defaults(func=cmd_diff)
+
+    args = parser.parse_args(argv)
+    configure_logging(args.log_level)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

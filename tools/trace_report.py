@@ -2,11 +2,15 @@
 """Convert a recorded trace JSONL stream into Chrome trace-event JSON.
 
 Reads the ``--trace-out`` output of ``python -m repro.experiments`` (one
-JSON event per line), prints a per-category span/duration summary, and —
-with ``--output`` — writes a JSON document loadable in ``chrome://tracing``
-or https://ui.perfetto.dev::
+JSON record per line — causal spans and/or raw trace events), prints a
+per-category span/duration summary, and — with ``--output`` — writes a
+JSON document loadable in ``chrome://tracing`` or
+https://ui.perfetto.dev. Causal spans get one pid lane per worker so
+stitched multi-process traces render as separate tracks::
 
     PYTHONPATH=src python tools/trace_report.py trace.jsonl --output trace.json
+    PYTHONPATH=src python tools/trace_report.py trace.jsonl --critical-path 3
+    PYTHONPATH=src python tools/trace_report.py trace.jsonl --trace <trace_id>
 """
 
 from __future__ import annotations
@@ -26,25 +30,64 @@ from repro.obs import (  # noqa: E402
     format_category_summary,
     get_reporter,
 )
+from repro.obs.context import (  # noqa: E402
+    build_span_trees,
+    causal_to_chrome,
+    format_span_tree,
+    slowest_traces,
+    span_problems,
+    trace_breakdown,
+)
 
 reporter = get_reporter("repro.tools.trace_report")
 
 
-def load_events(path: Path) -> list:
-    """Parse one trace event per line, skipping blanks."""
-    events = []
+def load_records(path: Path) -> list:
+    """Parse one JSON record per line, skipping blanks."""
+    records = []
     with open(path) as handle:
         for lineno, line in enumerate(handle, 1):
             line = line.strip()
             if not line:
                 continue
             try:
-                events.append(json.loads(line))
+                records.append(json.loads(line))
             except ValueError as exc:
                 raise SystemExit(
-                    f"{path}:{lineno}: not a JSON trace event ({exc})"
+                    f"{path}:{lineno}: not a JSON trace record ({exc})"
                 )
-    return events
+    return records
+
+
+def split_records(records: list) -> tuple:
+    """Separate causal spans from raw trace events by shape: a causal
+    span carries ``trace``/``span`` ids, an event carries ``ph``."""
+    spans, events = [], []
+    for record in records:
+        if "trace" in record and "span" in record:
+            spans.append(record)
+        else:
+            events.append(record)
+    return spans, events
+
+
+def render_critical_paths(spans: list, top: int) -> list:
+    """Span trees + per-leg breakdowns of the ``top`` slowest traces."""
+    lines = []
+    for root in slowest_traces(spans, top=top):
+        span = root["span"]
+        total = span["t1"] - span["t0"]
+        lines.append(
+            f"trace {span['trace']}  {span['cat']}/{span['name']}  "
+            f"{total:.6f}s"
+        )
+        legs = trace_breakdown(root)
+        for name in sorted(legs, key=lambda n: -legs[n]):
+            share = legs[name] / total if total else 0.0
+            lines.append(f"    {name:24s} {legs[name]:12.6f}s  {share:6.1%}")
+        lines.extend(format_span_tree(root, indent=1))
+        lines.append("")
+    return lines
 
 
 def main(argv=None) -> int:
@@ -55,17 +98,55 @@ def main(argv=None) -> int:
         default=None,
         help="write Chrome trace-event JSON here (chrome://tracing)",
     )
+    parser.add_argument(
+        "--trace-id",
+        "--trace",
+        dest="trace_id",
+        default=None,
+        help="restrict causal spans to one trace id",
+    )
+    parser.add_argument(
+        "--critical-path",
+        type=int,
+        default=0,
+        metavar="N",
+        help="show span trees + per-leg breakdowns of the N slowest traces",
+    )
     parser.add_argument("--log-level", default="info")
     args = parser.parse_args(argv)
     configure_logging(args.log_level)
 
-    events = load_events(Path(args.trace))
+    records = load_records(Path(args.trace))
+    spans, events = split_records(records)
+    if args.trace_id:
+        spans = [s for s in spans if s["trace"] == args.trace_id]
+        if not spans:
+            raise SystemExit(f"no spans with trace id {args.trace_id!r}")
+    reporter.info(
+        f"{len(spans)} causal spans "
+        f"({len(build_span_trees(spans))} traces) + "
+        f"{len(events)} trace events in {args.trace}"
+    )
+    problems = span_problems(spans)
+    for problem in problems[:10]:
+        reporter.warning(f"malformed: {problem}")
     summary = category_summary(events)
-    reporter.info(f"{len(events)} events in {args.trace}")
     if summary:
         reporter.info(format_category_summary(summary))
+    if args.critical_path:
+        for line in render_critical_paths(spans, args.critical_path):
+            reporter.info(line)
     if args.output:
-        document = chrome_trace(events)
+        # Causal spans take the low pid lanes (one per worker); raw
+        # events shift above them so the tracks never interleave.
+        causal_events = causal_to_chrome(spans)
+        lanes = 1 + max((e["pid"] for e in causal_events), default=-1)
+        shifted = []
+        for event in events:
+            out = dict(event)
+            out["pid"] = int(out.get("pid", 0)) + lanes
+            shifted.append(out)
+        document = chrome_trace(causal_events + shifted)
         Path(args.output).write_text(
             json.dumps(document, sort_keys=True) + "\n"
         )
