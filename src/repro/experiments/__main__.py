@@ -12,7 +12,9 @@ Experiments: table1, figure5, figure6 (6a+6b), figure7, figure8, figure9
 (7-9 share one run), scionlab, gridsearch, faults (fault-injection
 recovery study; see ``--fault-schedules``), traffic (end-to-end
 data-plane workloads: goodput, latency, utilization, cache hit rates),
-serve (a scripted session of the always-on measurement service: seeded
+multipath (per-flow multipath scheduling over long churn horizons with
+an ML-ready dataset export; see ``--strategy``/``--k-paths``/
+``--churn-intervals``/``--dataset-out``), serve (a scripted session of the always-on measurement service: seeded
 multi-client load against a persistent network under a virtual clock;
 see ``--clients``/``--seed``/``--wall``; ``--scenario`` hosts a compiled
 scenario network), scenarios (declarative deployment-diversity scenario
@@ -36,6 +38,7 @@ import sys
 import time
 
 from ..kernels import BACKEND_NAMES, available_backends
+from ..multipath.scheduler import STRATEGY_NAMES
 from ..obs import Telemetry, configure_logging, get_reporter
 from ..obs.log import LEVELS
 from ..obs.slo import DEFAULT_SERVICE_SLOS, evaluate_slos, slo_summary
@@ -47,6 +50,7 @@ from .figure6 import run_figure6
 from .gridsearch import run_gridsearch
 from .scenarios import run_scenarios
 from .scionlab import run_scionlab
+from .multipath import run_multipath
 from .table1 import run_table1
 from .traffic import run_traffic
 
@@ -61,7 +65,7 @@ def main(argv=None) -> int:
         choices=[
             "table1", "figure5", "figure6", "figure6a", "figure6b",
             "figure7", "figure8", "figure9", "scionlab", "gridsearch",
-            "faults", "traffic", "serve", "scenarios", "all",
+            "faults", "traffic", "multipath", "serve", "scenarios", "all",
         ],
     )
     parser.add_argument("--scale", default="bench")
@@ -187,6 +191,37 @@ def main(argv=None) -> int:
         action="store_true",
         help="list the built-in scenario families and exit",
     )
+    multipath = parser.add_argument_group(
+        "multipath", "churn horizons + dataset export (experiment 'multipath')"
+    )
+    multipath.add_argument(
+        "--strategy",
+        default="weighted-ecmp",
+        choices=STRATEGY_NAMES,
+        help=(
+            "multipath scheduling strategy to compare against the "
+            "single-path baseline (default: weighted-ecmp)"
+        ),
+    )
+    multipath.add_argument(
+        "--k-paths", type=int, default=3,
+        help="maximum paths per flow the strategy may select (default: 3)",
+    )
+    multipath.add_argument(
+        "--churn-intervals", type=int, default=None,
+        help=(
+            "scheduling intervals in the churn horizon "
+            "(default: per-scale preset; 'paper' uses 500)"
+        ),
+    )
+    multipath.add_argument(
+        "--dataset-out",
+        default=None,
+        help=(
+            "export the per-path time-series dataset (JSONL/CSV + "
+            "content-addressed manifest) to this directory"
+        ),
+    )
     serve = parser.add_argument_group(
         "serve", "scripted measurement-service sessions (experiment 'serve')"
     )
@@ -294,6 +329,14 @@ def main(argv=None) -> int:
             scale, num_schedules=args.fault_schedules, runtime=rt
         ).render(),
         "traffic": lambda rt: run_traffic(scale, runtime=rt).render(),
+        "multipath": lambda rt: run_multipath(
+            scale,
+            runtime=rt,
+            strategy=args.strategy,
+            k_paths=args.k_paths,
+            num_intervals=args.churn_intervals,
+            dataset_out=args.dataset_out,
+        ).render(),
         "scenarios": lambda rt: run_scenarios(
             scale,
             family=args.family,
@@ -305,7 +348,7 @@ def main(argv=None) -> int:
     if args.experiment == "all":
         names = [
             "table1", "figure5", "figure6", "scionlab", "gridsearch",
-            "faults", "traffic",
+            "faults", "traffic", "multipath",
         ]
     for name in names:
         runtime = make_runtime()

@@ -1,0 +1,338 @@
+"""Per-flow multipath schedulers (ROADMAP item 5, scheduler layer).
+
+A :class:`MultipathScheduler` splits one flow's packets across up to
+``k`` of its candidate end-to-end paths. Following the axiomatic
+treatment of multipath path selection (Baumeister et al., PAPERS.md),
+every strategy is a *pure* function of ``(flow key, candidate set, k,
+context)`` and must satisfy three checkable axioms, enforced by the
+property harness in :mod:`repro.multipath.axioms`:
+
+* **efficiency** — every offered packet is assigned to exactly one
+  selected path and at most ``k`` paths are selected;
+* **loop-freedom** — only loop-free candidates are ever selected, each
+  at most once;
+* **fairness** — packets apportion to the strategy's declared weights by
+  the largest-remainder method: no path deviates from its exact quota by
+  a full packet, and a strictly larger weight never receives fewer
+  packets.
+
+Strategies never mutate shared state and break every tie on the path
+identity ``(asns, link_ids)`` — the same total order the single-path
+policies document (:class:`repro.traffic.policy.MostDisjointPolicy`) —
+so a split is reproducible from the flow key alone, across processes,
+kernel backends and candidate permutations. The only randomness is the
+seeded rotation of the round-robin remainder, derived from
+``blake2b(seed, flow_key)`` — never from a stateful RNG.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..dataplane.combinator import EndToEndPath
+
+__all__ = [
+    "PathAssignment",
+    "PathSplit",
+    "SchedulerContext",
+    "MultipathScheduler",
+    "SinglePathScheduler",
+    "RoundRobinScheduler",
+    "WeightedEcmpScheduler",
+    "MaxDisjointScheduler",
+    "STRATEGY_NAMES",
+    "get_strategy",
+    "largest_remainder",
+    "split_diversity",
+]
+
+
+@dataclass(frozen=True)
+class PathAssignment:
+    """One path's share of a split: the path, its packet count and the
+    weight the strategy declared for it (the fairness axiom checks the
+    counts against these weights)."""
+
+    path: "EndToEndPath"
+    packets: int
+    weight: float
+
+
+@dataclass(frozen=True)
+class PathSplit:
+    """A complete, checkable split of one flow across selected paths.
+
+    ``assignments`` covers *every* selected path, including those whose
+    largest-remainder share rounded to zero packets — the axiom checkers
+    need the declared weights of the full selection. Forwarding loops
+    iterate :attr:`active` instead.
+    """
+
+    flow_key: int
+    num_packets: int
+    assignments: Tuple[PathAssignment, ...]
+
+    @property
+    def active(self) -> Tuple[PathAssignment, ...]:
+        """Assignments that actually carry packets."""
+        return tuple(a for a in self.assignments if a.packets > 0)
+
+    @property
+    def paths(self) -> Tuple["EndToEndPath", ...]:
+        return tuple(a.path for a in self.assignments)
+
+    @property
+    def is_multipath(self) -> bool:
+        return len(self.active) > 1
+
+
+class SchedulerContext:
+    """What a scheduler may observe: a per-path latency oracle plus the
+    workload seed the round-robin rotation derives from."""
+
+    def __init__(
+        self,
+        path_latency: Callable[["EndToEndPath"], float],
+        *,
+        seed: int = 0,
+    ) -> None:
+        self.path_latency = path_latency
+        self.seed = seed
+
+
+def _identity(path: "EndToEndPath") -> Tuple:
+    return (path.asns, path.link_ids)
+
+
+def _latency_rank(ctx: SchedulerContext, path: "EndToEndPath") -> Tuple:
+    """The canonical ranking tuple: latency, then the total-order
+    identity tie-break shared with the single-path policies."""
+    return (ctx.path_latency(path), path.num_links, path.asns, path.link_ids)
+
+
+def largest_remainder(
+    num_packets: int, weights: Sequence[float], *, offset: int = 0
+) -> List[int]:
+    """Apportion ``num_packets`` proportionally to ``weights`` (Hamilton's
+    method): floor every exact quota, then hand the leftover packets out
+    by largest fractional remainder. Exact-remainder ties rotate from
+    position ``offset`` so equal-weight strategies can spread the
+    remainder across flows deterministically.
+
+    Guarantees (the fairness axiom): shares sum to ``num_packets``, every
+    share is within one packet of its exact quota, and a strictly larger
+    weight never yields a smaller share.
+    """
+    if num_packets < 0:
+        raise ValueError("num_packets must be non-negative")
+    if not weights:
+        raise ValueError("weights must be non-empty")
+    if any(w <= 0 for w in weights):
+        raise ValueError("weights must all be positive")
+    total = float(sum(weights))
+    quotas = [num_packets * w / total for w in weights]
+    shares = [int(q) for q in quotas]
+    leftover = num_packets - sum(shares)
+    count = len(weights)
+    order = sorted(
+        range(count),
+        key=lambda i: (-(quotas[i] - shares[i]), (i - offset) % count),
+    )
+    for i in order[:leftover]:
+        shares[i] += 1
+    return shares
+
+
+def _rotation_digest(seed: int, flow_key: int, modulus: int) -> int:
+    """Seeded, stateless rotation offset in ``[0, modulus)``."""
+    if modulus <= 1:
+        return 0
+    digest = hashlib.blake2b(
+        f"{seed}:{flow_key}".encode("ascii"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") % modulus
+
+
+def split_diversity(paths: Sequence["EndToEndPath"]) -> float:
+    """Link-level diversity of a path set: unique links over total link
+    slots. 1.0 means fully disjoint (a single path is trivially so);
+    lower values measure how much infrastructure the paths share."""
+    slots = sum(path.num_links for path in paths)
+    if not slots:
+        return 1.0
+    unique = len({link for path in paths for link in path.link_ids})
+    return unique / slots
+
+
+class MultipathScheduler:
+    """Base strategy: select up to ``k`` paths, declare weights, and let
+    :meth:`split` apportion packets by largest remainder."""
+
+    name = "abstract"
+
+    def select(
+        self,
+        flow_key: int,
+        candidates: Sequence["EndToEndPath"],
+        k: int,
+        ctx: SchedulerContext,
+    ) -> List["EndToEndPath"]:
+        raise NotImplementedError
+
+    def weights(
+        self,
+        flow_key: int,
+        selected: Sequence["EndToEndPath"],
+        ctx: SchedulerContext,
+    ) -> List[float]:
+        return [1.0] * len(selected)
+
+    def rotation(
+        self,
+        flow_key: int,
+        selected: Sequence["EndToEndPath"],
+        ctx: SchedulerContext,
+    ) -> int:
+        """Remainder-tie rotation offset (0 unless the strategy seeds it)."""
+        return 0
+
+    def split(
+        self,
+        flow_key: int,
+        num_packets: int,
+        candidates: Sequence["EndToEndPath"],
+        k: int,
+        ctx: SchedulerContext,
+    ) -> PathSplit:
+        if num_packets < 1:
+            raise ValueError("num_packets must be positive")
+        if k < 1:
+            raise ValueError("k must be positive")
+        usable = [path for path in candidates if path.is_loop_free()]
+        if not usable:
+            raise ValueError("no loop-free candidate paths to split over")
+        selected = self.select(flow_key, usable, k, ctx)
+        if not selected or len(selected) > min(k, len(usable)):
+            raise ValueError(
+                f"strategy {self.name!r} selected {len(selected)} paths "
+                f"from {len(usable)} candidates with k={k}"
+            )
+        weights = [float(w) for w in self.weights(flow_key, selected, ctx)]
+        if len(weights) != len(selected) or any(w <= 0 for w in weights):
+            raise ValueError(
+                f"strategy {self.name!r} declared invalid weights {weights}"
+            )
+        shares = largest_remainder(
+            num_packets,
+            weights,
+            offset=self.rotation(flow_key, selected, ctx),
+        )
+        return PathSplit(
+            flow_key=flow_key,
+            num_packets=num_packets,
+            assignments=tuple(
+                PathAssignment(path=path, packets=share, weight=weight)
+                for path, share, weight in zip(selected, shares, weights)
+            ),
+        )
+
+
+class SinglePathScheduler(MultipathScheduler):
+    """The degenerate k=1 baseline: all packets ride the lowest-latency
+    path. Exists so multipath runs can compare against single-path on the
+    exact same selection machinery."""
+
+    name = "single"
+
+    def select(self, flow_key, candidates, k, ctx):
+        return [min(candidates, key=lambda p: _latency_rank(ctx, p))]
+
+
+class RoundRobinScheduler(MultipathScheduler):
+    """Equal split over the k lowest-latency paths, with the remainder
+    rotated by a seeded digest of the flow key — successive flows spread
+    their leftover packets over different paths, the classic round-robin
+    behavior, without any stateful cursor."""
+
+    name = "round-robin"
+
+    def select(self, flow_key, candidates, k, ctx):
+        return sorted(candidates, key=lambda p: _latency_rank(ctx, p))[:k]
+
+    def rotation(self, flow_key, selected, ctx):
+        return _rotation_digest(ctx.seed, flow_key, len(selected))
+
+
+class WeightedEcmpScheduler(MultipathScheduler):
+    """Weighted ECMP over the k lowest-latency paths: each path's weight
+    is the inverse of its propagation latency, so faster paths carry
+    proportionally more of the flow."""
+
+    name = "weighted-ecmp"
+
+    def select(self, flow_key, candidates, k, ctx):
+        return sorted(candidates, key=lambda p: _latency_rank(ctx, p))[:k]
+
+    def weights(self, flow_key, selected, ctx):
+        return [1.0 / max(ctx.path_latency(path), 1e-9) for path in selected]
+
+
+class MaxDisjointScheduler(MultipathScheduler):
+    """Greedy disjointness-maximizing selection: start from the
+    lowest-latency path, then repeatedly add the candidate sharing the
+    fewest links with everything already chosen (ties: latency, then the
+    path-identity total order — the most-disjoint ordering contract).
+    Equal split: the point is failure decorrelation, not load shaping."""
+
+    name = "max-disjoint"
+
+    def select(self, flow_key, candidates, k, ctx):
+        remaining = sorted(candidates, key=_identity)
+        first = min(remaining, key=lambda p: _latency_rank(ctx, p))
+        chosen = [first]
+        remaining.remove(first)
+        used = set(first.link_ids)
+        while remaining and len(chosen) < k:
+            best = min(
+                remaining,
+                key=lambda p: (
+                    sum(1 for link in p.link_ids if link in used),
+                    _latency_rank(ctx, p),
+                ),
+            )
+            chosen.append(best)
+            remaining.remove(best)
+            used.update(best.link_ids)
+        return chosen
+
+
+_STRATEGIES = {
+    strategy.name: strategy
+    for strategy in (
+        SinglePathScheduler(),
+        RoundRobinScheduler(),
+        WeightedEcmpScheduler(),
+        MaxDisjointScheduler(),
+    )
+}
+
+#: Registry order: the baseline first, then the multipath strategies.
+STRATEGY_NAMES: Tuple[str, ...] = (
+    "single",
+    "round-robin",
+    "weighted-ecmp",
+    "max-disjoint",
+)
+
+
+def get_strategy(name: str) -> MultipathScheduler:
+    try:
+        return _STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown multipath strategy {name!r}; "
+            f"choose from {sorted(_STRATEGIES)}"
+        ) from None

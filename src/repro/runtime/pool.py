@@ -311,6 +311,70 @@ class ExperimentRuntime:
             self._merge_telemetry(outcome)
         return outcomes
 
+    def run_multipath(
+        self, tasks: Sequence[Tuple[Topology, Any]]
+    ) -> List[Any]:
+        """Execute multipath churn runs (:class:`~repro.multipath.worker.
+        MultipathSpec`) — same dispatch, shipping and ordering discipline
+        as :meth:`run_traffic`, so ``--jobs 1`` and ``--jobs N`` produce
+        pickle-identical results."""
+        # Imported lazily: repro.multipath.worker imports this package.
+        from ..multipath.worker import MultipathTask, execute_multipath_run
+
+        telemetry = self._collecting
+        profile = telemetry and self.telemetry.profile.enabled
+        prepared = []
+        for topology, spec in tasks:
+            cache_dir, topology_key = self._ship_topology(topology)
+            identity = self._trace_identity()
+            if cache_dir is None:
+                prepared.append(
+                    MultipathTask(
+                        spec=spec,
+                        topology=topology,
+                        telemetry=telemetry,
+                        profile=profile,
+                        backend=self.backend,
+                        **identity,
+                    )
+                )
+            else:
+                prepared.append(
+                    MultipathTask(
+                        spec=spec,
+                        cache_dir=cache_dir,
+                        topology_key=topology_key,
+                        telemetry=telemetry,
+                        profile=profile,
+                        backend=self.backend,
+                        **identity,
+                    )
+                )
+        workers = min(self.jobs, len(prepared))
+        if workers <= 1:
+            outcomes = [execute_multipath_run(task) for task in prepared]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(execute_multipath_run, prepared))
+        for outcome in outcomes:
+            self.report.add_phase(
+                f"{outcome.name}:control",
+                outcome.timings.get("control", 0.0),
+                cached=outcome.cached,
+            )
+            self.report.add_phase(
+                f"{outcome.name}:run",
+                outcome.timings.get("run", 0.0),
+                cached=outcome.cached,
+                counters={
+                    "intervals": outcome.result.num_intervals,
+                    "packets": outcome.result.packets_delivered,
+                    "switches": outcome.result.switch_events,
+                },
+            )
+            self._merge_telemetry(outcome)
+        return outcomes
+
     def _ship_topology(
         self, topology: Topology
     ) -> Tuple[Optional[str], Optional[str]]:

@@ -535,6 +535,12 @@ def _pass_traffic(
             traffic_config=TrafficConfig(
                 link_capacity_bps=overlay.link_capacity_bps,
                 policy=overlay.policy,
+                # "single" lowers to the classic engine path (strategy
+                # None) so pre-multipath scenarios compile unchanged.
+                strategy=(
+                    None if overlay.strategy == "single" else overlay.strategy
+                ),
+                k_paths=overlay.k_paths,
             ),
             core_config=core_config,
             intra_config=intra_config,

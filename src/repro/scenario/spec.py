@@ -177,6 +177,11 @@ class TrafficOverlaySpec:
     link_capacity_bps: float = 4e6
     policy: str = "shortest-latency"
     algorithm: str = "diversity"
+    #: Multipath scheduling strategy (``repro.multipath``); ``"single"``
+    #: keeps the classic one-path-per-flow engine behavior.
+    strategy: str = "single"
+    #: Maximum paths per flow when ``strategy`` is a multipath one.
+    k_paths: int = 1
 
 
 @dataclass(frozen=True)
@@ -377,6 +382,18 @@ class ScenarioSpec:
                     f"unknown algorithm {traffic.algorithm!r}; use "
                     "'baseline' or 'diversity'",
                     field="traffic.algorithm",
+                )
+            from ..multipath.scheduler import STRATEGY_NAMES
+
+            if traffic.strategy not in STRATEGY_NAMES:
+                raise ScenarioError(
+                    f"unknown multipath strategy {traffic.strategy!r}; "
+                    f"use one of {sorted(STRATEGY_NAMES)}",
+                    field="traffic.strategy",
+                )
+            if traffic.k_paths < 1:
+                raise ScenarioError(
+                    "k_paths must be positive", field="traffic.k_paths"
                 )
 
     def _check_substrate_asn(self, asn: int, field_name: str) -> None:

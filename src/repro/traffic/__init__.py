@@ -10,7 +10,7 @@ per-flow latency and lookup-cache hit rates. See
 
 from .engine import TrafficConfig, TrafficEngine, TrafficFaultPlan
 from .flows import Flow, FlowConfig, FlowGenerator
-from .metrics import TrafficRunResult
+from .metrics import TrafficRunResult, path_key
 from .policy import (
     POLICY_NAMES,
     LeastUtilizedPolicy,
@@ -36,6 +36,7 @@ __all__ = [
     "TrafficEngine",
     "TrafficFaultPlan",
     "TrafficRunResult",
+    "path_key",
     "PathPolicy",
     "PolicyContext",
     "ShortestLatencyPolicy",

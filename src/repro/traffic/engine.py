@@ -43,7 +43,7 @@ from ..kernels import KernelBackend, resolve_backend
 from ..obs import NULL_TELEMETRY, Telemetry
 from ..topology.latency import LatencyModel
 from .flows import Flow, FlowGenerator
-from .metrics import TrafficRunResult
+from .metrics import TrafficRunResult, path_key
 from .policy import PolicyContext, get_policy
 
 __all__ = ["TrafficConfig", "TrafficFaultPlan", "TrafficEngine", "FlowOutcome"]
@@ -73,12 +73,27 @@ class TrafficConfig:
     policy: str = "shortest-latency"
     #: Seed of the per-link latency model.
     latency_seed: int = 0
+    #: Multipath scheduling strategy (:mod:`repro.multipath.scheduler`).
+    #: ``None`` (the default) keeps the classic single-path pipeline:
+    #: the configured ``policy`` picks one path per flow. When set, each
+    #: flow is split across up to ``k_paths`` candidates instead.
+    strategy: Optional[str] = None
+    #: Maximum paths per flow when ``strategy`` is set (ignored otherwise).
+    k_paths: int = 1
 
     def __post_init__(self) -> None:
         if self.tick_seconds <= 0 or self.link_capacity_bps <= 0:
             raise ValueError("tick_seconds and link_capacity_bps must be positive")
         if self.queueing_factor < 0:
             raise ValueError("queueing_factor must be non-negative")
+        if self.k_paths < 1:
+            raise ValueError("k_paths must be >= 1")
+        if self.strategy is not None:
+            # Validates the name (raises ValueError on unknown strategies).
+            # Imported lazily: repro.multipath is layered above traffic.
+            from ..multipath.scheduler import get_strategy
+
+            get_strategy(self.strategy)
 
     @property
     def capacity_bytes_per_tick(self) -> float:
@@ -161,6 +176,18 @@ class TrafficEngine:
         self.routers = network.router_table
         self.latency = LatencyModel(self.topology, seed=config.latency_seed)
         self.policy = get_policy(config.policy)
+        #: Multipath scheduler (None => classic single-path selection).
+        self.scheduler = None
+        self._sched_ctx = None
+        if config.strategy is not None:
+            # Imported lazily: repro.multipath is layered above traffic.
+            from ..multipath.scheduler import SchedulerContext, get_strategy
+
+            self.scheduler = get_strategy(config.strategy)
+            self._sched_ctx = SchedulerContext(
+                lambda path: self.latency.path_latency(path.link_ids),
+                seed=generator.config.seed,
+            )
         unknown = set(legacy_asns) - set(generator.endpoints)
         if unknown:
             raise ValueError(
@@ -414,6 +441,8 @@ class TrafficEngine:
             ("traffic.lost_bytes", sum(result.lost_bytes)),
             ("traffic.sig_encapsulated", result.sig_encapsulated),
             ("traffic.sig_decapsulated", result.sig_decapsulated),
+            ("traffic.multipath_splits", result.multipath_splits),
+            ("traffic.subflows", result.subflows),
         ):
             if value:
                 metrics.counter(name, labels).inc(value)
@@ -523,6 +552,10 @@ class TrafficEngine:
             result.lost_bytes[tick] += flow.size_bytes
             return
 
+        if self.scheduler is not None:
+            self._serve_flow_multipath(flow, tick, result, alive, now)
+            return
+
         path = self.policy.select(flow, alive, self._ctx)
         metrics = self.obs.metrics
         if metrics.enabled:
@@ -609,6 +642,11 @@ class TrafficEngine:
         if delivered_packets == flow.num_packets:
             result.flows_completed += 1
             result.delivered_bytes[tick] += flow.size_bytes
+            result.record_path_bytes(
+                path_key(path.asns, path.link_ids),
+                flow.size_bytes,
+                flow.size_bytes,
+            )
             bottleneck = max(
                 (self._prev_utilization(link_id) for link_id in path.link_ids),
                 default=0.0,
@@ -622,3 +660,151 @@ class TrafficEngine:
             result.packets_lost += lost
             result.flows_failed += 1
             result.lost_bytes[tick] += flow.size_bytes
+            result.record_path_bytes(
+                path_key(path.asns, path.link_ids), flow.size_bytes, 0
+            )
+
+    def _serve_flow_multipath(
+        self,
+        flow: Flow,
+        tick: int,
+        result: TrafficRunResult,
+        alive: List[EndToEndPath],
+        now: float,
+    ) -> None:
+        """Split one flow over up to ``k_paths`` alive candidates and
+        forward each subflow through the kernel backend.
+
+        Same pipeline as the single-path tail of :meth:`_serve_flow` —
+        hop-field forwarding, SIG gateways, link accounting — applied per
+        subflow. A flow completes only when *every* packet of every
+        subflow is delivered; its latency is the slowest subflow's
+        (packets arrive when the last path does). Partially delivered
+        flows still contribute goodput: delivered subflow bytes count,
+        the remainder is lost — exactly what a byte-wise reconciliation
+        against the per-path attribution requires.
+        """
+        split = self.scheduler.split(
+            flow.flow_id,
+            flow.num_packets,
+            alive,
+            self.config.k_paths,
+            self._sched_ctx,
+        )
+        active = split.active
+        if len(active) > 1:
+            result.multipath_splits += 1
+        metrics = self.obs.metrics
+        profiler = self.obs.profile
+        pair = (flow.src, flow.dst)
+        used_links = frozenset(
+            link for a in active for link in a.path.link_ids
+        )
+        self._pair_history[pair] = (
+            self._pair_history.get(pair, frozenset()) | used_links
+        )
+        src_sig = self._sigs.get(flow.src)
+        dst_sig = self._sigs.get(flow.dst)
+        src_ip = self._host_ip(flow.src)
+        dst_ip = self._host_ip(flow.dst)
+
+        delivered_total = 0
+        slowest = 0.0
+        for assignment in active:
+            path = assignment.path
+            result.subflows += 1
+            if metrics.enabled:
+                metrics.histogram(
+                    "traffic.path_hops",
+                    PATH_HOPS_BUCKETS,
+                    {
+                        "policy": f"multipath/{self.scheduler.name}",
+                        "run": self.name,
+                    },
+                ).observe(float(len(path.asns)))
+            forwarding = build_forwarding_path(
+                self.topology,
+                path.asns,
+                path.link_ids,
+                timestamp=now,
+                expiry=path.expires_at,
+            )
+            if src_sig is not None:
+                packet = src_sig.encapsulate(
+                    IPPacket(
+                        src_ip=src_ip,
+                        dst_ip=dst_ip,
+                        payload_bytes=flow.payload_bytes,
+                    ),
+                    forwarding,
+                )
+            else:
+                packet = ScionPacket(
+                    source=HostAddress(
+                        self.topology.as_node(flow.src).isd or 0,
+                        flow.src,
+                        local=src_ip,
+                    ),
+                    destination=HostAddress(
+                        self.topology.as_node(flow.dst).isd or 0,
+                        flow.dst,
+                        local=dst_ip,
+                    ),
+                    path=forwarding,
+                    payload_bytes=flow.payload_bytes,
+                )
+            delivered = 0
+            if packet is not None:
+                delivered, hops = self.kernel.deliver_flow(
+                    self.routers,
+                    packet,
+                    assignment.packets,
+                    now=now,
+                    profiler=profiler if profiler.enabled else None,
+                )
+                if src_sig is not None:
+                    # Mirror the per-packet reference loop's encapsulation
+                    # count, per subflow (see the single-path branch).
+                    attempts = delivered + (
+                        1 if delivered < assignment.packets else 0
+                    )
+                    src_sig.encapsulated += attempts - 1
+                if delivered:
+                    result.packets_forwarded += delivered
+                    result.macs_verified += delivered * hops
+                    self._count_link_bytes(
+                        path, packet.wire_bytes() * delivered
+                    )
+                    if dst_sig is not None:
+                        dst_sig.decapsulate(packet)
+                        dst_sig.decapsulated += delivered - 1
+            result.record_path_bytes(
+                path_key(path.asns, path.link_ids),
+                assignment.packets * flow.payload_bytes,
+                delivered * flow.payload_bytes,
+            )
+            delivered_total += delivered
+            if delivered == assignment.packets and delivered:
+                bottleneck = max(
+                    (
+                        self._prev_utilization(link_id)
+                        for link_id in path.link_ids
+                    ),
+                    default=0.0,
+                )
+                propagation = self.latency.path_latency(path.link_ids)
+                slowest = max(
+                    slowest,
+                    propagation
+                    * (1.0 + self.config.queueing_factor * bottleneck),
+                )
+
+        result.delivered_bytes[tick] += delivered_total * flow.payload_bytes
+        lost = flow.num_packets - delivered_total
+        if lost:
+            result.packets_lost += lost
+            result.flows_failed += 1
+            result.lost_bytes[tick] += lost * flow.payload_bytes
+        else:
+            result.flows_completed += 1
+            result.flow_latencies.append(slowest)

@@ -8,10 +8,25 @@ equal by pickle (the same contract as the beaconing and fault runners).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["TrafficRunResult"]
+__all__ = ["TrafficRunResult", "path_key"]
+
+
+def path_key(asns: Iterable[int], link_ids: Iterable[int]) -> str:
+    """Stable short identifier of one concrete end-to-end path.
+
+    blake2b over the AS sequence and the link-id sequence (the same pair
+    the policies use as the deterministic tie-break), truncated to an
+    8-byte hex digest. Both the traffic engine's per-path goodput
+    attribution and the ``repro.multipath`` dataset exporter key paths
+    this way, so rows written by different subsystems join exactly.
+    """
+    text = ",".join(str(asn) for asn in asns)
+    text += "|" + ",".join(str(link_id) for link_id in link_ids)
+    return hashlib.blake2b(text.encode("ascii"), digest_size=8).hexdigest()
 
 
 def _percentile(values: List[float], fraction: float) -> float:
@@ -57,6 +72,22 @@ class TrafficRunResult:
     #: Busiest single tick per link, in wire bytes.
     link_peak_bytes: Dict[int, int] = field(default_factory=dict)
 
+    # ---- per-path goodput attribution -----------------------------------
+    #: Application bytes offered to each selected path, keyed by
+    #: :func:`path_key`. Only flows that selected a path contribute;
+    #: unroutable flows never reach one.
+    path_offered_bytes: Dict[str, int] = field(default_factory=dict)
+    #: Application bytes delivered over each selected path. Reconciles
+    #: exactly with the aggregate: ``sum(path_delivered_bytes.values())
+    #: == sum(delivered_bytes)`` (see :meth:`path_reconciliation`).
+    path_delivered_bytes: Dict[str, int] = field(default_factory=dict)
+    #: Flows actually split across more than one path (multipath
+    #: strategies only; single-path runs keep this at 0).
+    multipath_splits: int = 0
+    #: Individual (flow, path) subflows a multipath strategy dispatched
+    #: (assignments with a non-zero packet share).
+    subflows: int = 0
+
     # ---- control-plane coupling -----------------------------------------
     cache_hits: int = 0
     cache_misses: int = 0
@@ -95,6 +126,41 @@ class TrafficRunResult:
     def delivered_fraction(self) -> float:
         offered = sum(self.offered_bytes)
         return sum(self.delivered_bytes) / offered if offered else 1.0
+
+    def record_path_bytes(
+        self, key: str, offered: int, delivered: int
+    ) -> None:
+        """Attribute one subflow's offered/delivered bytes to its path."""
+        if offered:
+            self.path_offered_bytes[key] = (
+                self.path_offered_bytes.get(key, 0) + offered
+            )
+        if delivered:
+            self.path_delivered_bytes[key] = (
+                self.path_delivered_bytes.get(key, 0) + delivered
+            )
+
+    def goodput_shares(self) -> Dict[str, float]:
+        """Each path's fraction of the run's delivered bytes, by key."""
+        total = sum(self.path_delivered_bytes.values())
+        if not total:
+            return {}
+        return {
+            key: self.path_delivered_bytes[key] / total
+            for key in sorted(self.path_delivered_bytes)
+        }
+
+    def path_reconciliation(self) -> Tuple[int, int]:
+        """(per-path delivered sum, aggregate delivered sum).
+
+        Equal by contract: every delivered application byte is attributed
+        to exactly one path — whether the flow rode one path or was split
+        by a multipath strategy. The reconciliation test pins this.
+        """
+        return (
+            sum(self.path_delivered_bytes.values()),
+            sum(self.delivered_bytes),
+        )
 
     def cache_hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses

@@ -83,6 +83,17 @@ class MostDisjointPolicy(PathPolicy):
     Spreads a pair's consecutive flows over disjoint infrastructure, the
     failure-resilience-maximizing strategy of the axiomatic analysis: a
     single link failure then hits the fewest of the pair's flows.
+
+    **Ordering contract** (relied on by the multipath k-subset selection,
+    :class:`repro.multipath.scheduler.MaxDisjointScheduler`): candidates
+    rank by the 5-tuple ``(overlap with the pair's previously used links,
+    propagation latency, hop count, AS sequence, link-id sequence)``. The
+    final two components are a total order over *distinct* paths, so the
+    winner is a pure function of the candidate **set**: invariant under
+    any permutation of the lookup order, identical across processes and
+    kernel backends, and independent of any RNG — determinism needs no
+    seed because no tie survives the full tuple. The regression test
+    ``test_most_disjoint_permutation_invariant`` pins this contract.
     """
 
     name = "most-disjoint"

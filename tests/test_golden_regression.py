@@ -77,6 +77,55 @@ def test_traffic_matches_fixture():
         )
 
 
+def test_multipath_matches_fixture():
+    import tempfile
+
+    from repro.experiments.multipath import run_multipath
+    from repro.multipath.dataset import write_dataset
+    from repro.multipath.scheduler import STRATEGY_NAMES
+
+    fixture = load("multipath_test.json")
+    result = run_multipath(
+        TEST_SCALE, strategies=STRATEGY_NAMES, k_paths=3
+    )
+    assert sorted(result.results) == sorted(fixture["series"])
+    ordered = []
+    for name in STRATEGY_NAMES:
+        run = result.results[name]
+        ordered.append(run)
+        expected = fixture["series"][name]
+        # Packet/event counters are integers: exact comparison.
+        for key in (
+            "packets_offered", "packets_delivered", "packets_lost",
+            "macs_verified", "beacon_expiries", "switch_events",
+            "scmp_events", "faults_injected",
+        ):
+            assert getattr(run, key) == expected[key], (
+                f"multipath strategy {name!r} {key} diverged from the "
+                f"fixture; if intentional, regenerate: {REGEN}"
+            )
+        assert len(run.rows) == expected["num_rows"]
+        assert len(run.paths) == expected["num_paths"]
+        assert [list(pair) for pair in run.pairs] == expected["pairs"]
+        assert list(run.path_lifetimes) == expected["path_lifetimes"]
+        assert sum(row[9] for row in run.rows) == pytest.approx(
+            expected["latency_sum"], rel=1e-9
+        ), (
+            f"multipath strategy {name!r} latencies diverged from the "
+            f"fixture; if intentional, regenerate: {REGEN}"
+        )
+    # The dataset id content-addresses the entire exported time series:
+    # byte-level drift anywhere in scheduling, churn or encoding fails
+    # this single comparison.
+    with tempfile.TemporaryDirectory() as tmp:
+        manifest = write_dataset(ordered, tmp)
+    assert manifest["schema_version"] == fixture["schema_version"]
+    assert manifest["dataset_id"] == fixture["dataset_id"], (
+        f"multipath dataset content drifted; if intentional, "
+        f"regenerate: {REGEN}"
+    )
+
+
 def test_figure5_matches_fixture():
     fixture = load("figure5_test.json")
     result = run_figure5(TEST_SCALE)

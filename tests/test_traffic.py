@@ -150,6 +150,35 @@ class TestPolicies:
         overlap = lambda path: sum(1 for l in path.link_ids if l in used)
         assert overlap(second) == min(overlap(path) for path in paths)
 
+    def test_most_disjoint_permutation_invariant(self, network):
+        """The ordering contract the policy docstring documents: the
+        choice is a pure function of the candidate *set* — any candidate
+        permutation yields the identical path, because the rank tuple
+        ends in the (asns, link_ids) total order."""
+        import itertools
+
+        src, dst, paths = self._multipath_pair(network)
+        flow = dataclasses.replace(
+            FlowGenerator([src, dst], FLOWS).flows_for_tick(0)[0],
+            src=src,
+            dst=dst,
+        )
+        history = {(src, dst): frozenset(paths[0].link_ids)}
+        policy = get_policy("most-disjoint")
+        permutations = itertools.islice(itertools.permutations(paths), 24)
+        chosen = {
+            (picked.asns, picked.link_ids)
+            for ordering in permutations
+            for picked in [
+                policy.select(
+                    flow,
+                    list(ordering),
+                    self._context(network, history=history),
+                )
+            ]
+        }
+        assert len(chosen) == 1
+
     def test_least_utilized_routes_around_load(self, network):
         src, dst, paths = self._multipath_pair(network)
         flow = FlowGenerator([src, dst], FLOWS).flows_for_tick(0)[0]
@@ -463,3 +492,87 @@ class TestRuntimeIntegration:
         assert "diversity/shortest-latency" in text
         assert "diversity/faulted" in text
         assert "dip" in text
+
+
+class TestMultipathEngine:
+    """The traffic engine with a multipath strategy (repro.multipath)."""
+
+    def _run(self, topology, strategy, k_paths=3):
+        network = make_network(topology)
+        engine = TrafficEngine(
+            network,
+            FlowGenerator(leaf_endpoints(topology), FLOWS),
+            TrafficConfig(
+                link_capacity_bps=4e6, strategy=strategy, k_paths=k_paths
+            ),
+        )
+        return engine.run()
+
+    def test_config_validates_strategy_and_k(self):
+        with pytest.raises(ValueError, match="unknown multipath strategy"):
+            TrafficConfig(strategy="warmest-potato")
+        with pytest.raises(ValueError, match="k_paths"):
+            TrafficConfig(k_paths=0)
+
+    def test_single_path_reconciliation_exact(self, topology):
+        """Satellite: per-path goodput attribution reconciles exactly
+        with the aggregate, in the classic single-path engine."""
+        network = make_network(topology)
+        engine = TrafficEngine(
+            network,
+            FlowGenerator(leaf_endpoints(topology), FLOWS),
+            TrafficConfig(link_capacity_bps=4e6),
+        )
+        result = engine.run()
+        per_path, aggregate = result.path_reconciliation()
+        assert per_path == aggregate
+        assert result.multipath_splits == 0
+        assert result.subflows == 0
+        offered = sum(result.path_offered_bytes.values())
+        # Unroutable flows never select a path, so path-level offered
+        # bytes can undershoot but never exceed the run's offered bytes.
+        assert offered <= sum(result.offered_bytes)
+
+    def test_multipath_reconciliation_exact(self, topology):
+        for strategy in ("round-robin", "weighted-ecmp", "max-disjoint"):
+            result = self._run(topology, strategy)
+            per_path, aggregate = result.path_reconciliation()
+            assert per_path == aggregate, strategy
+            assert result.flows_started == (
+                result.flows_completed + result.flows_failed
+            )
+            for tick in range(result.ticks):
+                assert (
+                    result.offered_bytes[tick]
+                    == result.delivered_bytes[tick] + result.lost_bytes[tick]
+                ), strategy
+
+    def test_multipath_splits_and_shares(self, topology):
+        result = self._run(topology, "weighted-ecmp")
+        assert result.multipath_splits > 0
+        assert result.subflows > result.multipath_splits
+        shares = result.goodput_shares()
+        assert shares
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert all(share > 0 for share in shares.values())
+
+    def test_multipath_backends_identical(self, topology):
+        from repro.kernels import available_backends
+
+        if "numpy" not in available_backends():
+            pytest.skip("numpy backend unavailable")
+        network_a = make_network(topology)
+        network_b = make_network(topology)
+        config = TrafficConfig(
+            link_capacity_bps=4e6, strategy="weighted-ecmp", k_paths=3
+        )
+        runs = []
+        for network, backend in ((network_a, "python"), (network_b, "numpy")):
+            engine = TrafficEngine(
+                network,
+                FlowGenerator(leaf_endpoints(topology), FLOWS),
+                config,
+                backend=backend,
+            )
+            runs.append(engine.run())
+        assert pickle.dumps(runs[0]) == pickle.dumps(runs[1])

@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""CI multipath benchmark: scheduler throughput + dataset-export rate.
+
+Three timed sections, appended as one ``multipath`` entry to
+``BENCH_smoke.json`` and gated by ``tools/check_bench_regression.py``:
+
+* **scheduler** — per-flow splits/second of the weighted-ECMP strategy
+  over seeded synthetic candidate universes (the per-flow hot path the
+  traffic engine pays when multipath is enabled);
+* **churn** — intervals/second of a full churn horizon (beacon expiry,
+  fault schedule, re-selection, real kernel-backend forwarding) over a
+  small full-stack network;
+* **dataset** — rows/second of the JSONL/CSV/manifest export, validated
+  after writing (a bench run that exports a corrupt dataset must fail
+  loudly, not record a fast number).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_multipath.py [--intervals N]
+                          [--backend python|numpy] [--output FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.control.network import ScionNetwork  # noqa: E402
+from repro.experiments.common import build_full_stack_topology  # noqa: E402
+from repro.experiments.config import TEST_SCALE  # noqa: E402
+from repro.multipath.axioms import synthetic_universe  # noqa: E402
+from repro.multipath.churn import ChurnConfig, ChurnDriver  # noqa: E402
+from repro.multipath.dataset import (  # noqa: E402
+    validate_dataset,
+    write_dataset,
+)
+from repro.multipath.scheduler import get_strategy  # noqa: E402
+from repro.obs import configure_logging, get_reporter  # noqa: E402
+
+reporter = get_reporter("repro.tools.bench_multipath")
+
+
+def host_fingerprint() -> str:
+    return f"{platform.machine()}-cpu{os.cpu_count() or 0}"
+
+
+def bench_scheduler(num_splits: int) -> dict:
+    """Splits/second of weighted-ECMP over rotating synthetic universes."""
+    universes = [synthetic_universe(seed) for seed in range(8)]
+    strategy = get_strategy("weighted-ecmp")
+    start = time.perf_counter()
+    packets = 0
+    for flow_key in range(num_splits):
+        candidates, ctx = universes[flow_key % len(universes)]
+        split = strategy.split(flow_key, 12, candidates, 3, ctx)
+        packets += sum(a.packets for a in split.assignments)
+    elapsed = time.perf_counter() - start
+    if packets != num_splits * 12:
+        raise AssertionError(
+            f"scheduler conservation broke: {packets} != {num_splits * 12}"
+        )
+    return {
+        "splits": num_splits,
+        "splits_per_second": round(num_splits / elapsed, 1),
+    }
+
+
+def bench_churn(intervals: int, backend: str) -> tuple:
+    """Intervals/second of a full churn horizon; returns (record, result)."""
+    topology = build_full_stack_topology(TEST_SCALE, leaves_per_core=2)
+    network = ScionNetwork(
+        topology,
+        algorithm="diversity",
+        core_config=TEST_SCALE.core_beaconing_config(5),
+        intra_config=TEST_SCALE.intra_isd_config(5),
+        backend=backend,
+    ).run()
+    config = ChurnConfig(num_intervals=intervals, num_pairs=4, seed=7)
+    driver = ChurnDriver(network, config, name="bench", backend=backend)
+    start = time.perf_counter()
+    result = driver.run()
+    elapsed = time.perf_counter() - start
+    if not result.reconciles():
+        raise AssertionError("churn accounting does not reconcile")
+    return (
+        {
+            "intervals": intervals,
+            "pairs": len(result.pairs),
+            "packets_delivered": result.packets_delivered,
+            "intervals_per_second": round(intervals / elapsed, 1),
+        },
+        result,
+    )
+
+
+def bench_dataset(result) -> dict:
+    """Rows/second of the full export, validated after writing."""
+    with tempfile.TemporaryDirectory() as tmp:
+        start = time.perf_counter()
+        manifest = write_dataset(result, tmp)
+        elapsed = time.perf_counter() - start
+        validate_dataset(tmp)
+    rows = manifest["files"]["series.jsonl"]["rows"]
+    return {
+        "rows": rows,
+        "rows_per_second": round(rows / elapsed, 1),
+        "dataset_id": manifest["dataset_id"],
+    }
+
+
+def append_trajectory(output: Path, entry: dict) -> None:
+    history = []
+    if output.exists():
+        try:
+            history = json.loads(output.read_text())
+        except (ValueError, OSError):
+            history = []
+        if not isinstance(history, list):
+            history = [history]
+    history.append(entry)
+    output.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--splits", type=int, default=20000,
+        help="scheduler splits to time (default: 20000)",
+    )
+    parser.add_argument(
+        "--intervals", type=int, default=300,
+        help="churn intervals to time (default: 300)",
+    )
+    parser.add_argument(
+        "--backend", default="python", choices=("python", "numpy"),
+        help="kernel backend for the churn horizon (default: python)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="measurement repeats; the best run is recorded (default: 3)",
+    )
+    parser.add_argument(
+        "--output", default=str(ROOT / "BENCH_smoke.json"),
+        help="trajectory file to append to",
+    )
+    parser.add_argument(
+        "--label", default="", help="free-form tag stored with the entry"
+    )
+    parser.add_argument("--log-level", default="info")
+    args = parser.parse_args(argv)
+    configure_logging(args.log_level)
+
+    reporter.info(
+        f"multipath bench: splits={args.splits} intervals={args.intervals} "
+        f"backend={args.backend} repeats={args.repeats}"
+    )
+    best_sched = best_churn = best_data = None
+    for _ in range(args.repeats):
+        sched = bench_scheduler(args.splits)
+        churn, result = bench_churn(args.intervals, args.backend)
+        data = bench_dataset(result)
+        if (
+            best_sched is None
+            or sched["splits_per_second"] > best_sched["splits_per_second"]
+        ):
+            best_sched = sched
+        if (
+            best_churn is None
+            or churn["intervals_per_second"]
+            > best_churn["intervals_per_second"]
+        ):
+            best_churn = churn
+        if (
+            best_data is None
+            or data["rows_per_second"] > best_data["rows_per_second"]
+        ):
+            best_data = data
+        reporter.info(
+            f"  {sched['splits_per_second']:.0f} splits/s  "
+            f"{churn['intervals_per_second']:.0f} intervals/s  "
+            f"{data['rows_per_second']:.0f} rows/s"
+        )
+
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "label": args.label,
+        "machine": host_fingerprint(),
+        "cores": os.cpu_count() or 0,
+        "python": platform.python_version(),
+        "backend": args.backend,
+        "telemetry": False,
+        "multipath": {
+            "scheduler": best_sched,
+            "churn": best_churn,
+            "dataset": best_data,
+        },
+    }
+    append_trajectory(Path(args.output), entry)
+    reporter.info(
+        f"best {best_sched['splits_per_second']:.0f} splits/s, "
+        f"{best_churn['intervals_per_second']:.0f} intervals/s, "
+        f"{best_data['rows_per_second']:.0f} rows/s -> "
+        f"appended to {args.output}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,11 @@ smoke entry): variants compiled per second over the built-in families
 must stay within ``--threshold`` of the best prior same-machine,
 same-variant-count entry.
 
+And gates multipath entries (as appended by ``tools/bench_multipath.py``):
+scheduler splits/second and dataset-export rows/second must each stay
+within ``--threshold`` of the best prior same-machine, same-shape
+(splits / intervals / backend) entry.
+
 Exit status: 1 when throughput dropped more than ``--threshold`` (default
 10%) below the baseline or the shard speedup is under the floor; 0
 otherwise, including when there is no prior same-machine baseline yet
@@ -283,6 +288,76 @@ def check_scenario_compile(history: list, threshold: float) -> int:
     return 0 if latest_vps >= floor else 1
 
 
+def check_multipath(history: list, threshold: float) -> int:
+    """Gate the latest ``multipath`` entry (``tools/bench_multipath.py``).
+
+    Two rates gate independently: scheduler splits/second (the per-flow
+    hot path the traffic engine pays under multipath) and dataset
+    rows/second (the export pipeline). Each must stay within
+    ``threshold`` of the best prior telemetry-off entry recorded on the
+    same machine with the same workload shape (splits, churn intervals,
+    kernel backend) — a changed shape resets the baseline.
+    """
+    candidates = [
+        e for e in history
+        if not e.get("telemetry", False)
+        and e.get("multipath", {}).get("scheduler", {}).get(
+            "splits_per_second"
+        )
+    ]
+    if not candidates:
+        reporter.info("no multipath bench entries; nothing to check")
+        return 0
+    latest = candidates[-1]
+    machine = latest.get("machine", "")
+
+    def shape(entry: dict) -> tuple:
+        section = entry["multipath"]
+        return (
+            section["scheduler"].get("splits"),
+            section.get("churn", {}).get("intervals"),
+            entry.get("backend", "python"),
+        )
+
+    def rates(entry: dict) -> tuple:
+        section = entry["multipath"]
+        return (
+            float(section["scheduler"]["splits_per_second"]),
+            float(section.get("dataset", {}).get("rows_per_second") or 0.0),
+        )
+
+    latest_shape = shape(latest)
+    baseline = [
+        rates(e)
+        for e in candidates[:-1]
+        if e.get("machine", "") == machine and shape(e) == latest_shape
+    ]
+    latest_rates = rates(latest)
+    if not baseline:
+        reporter.info(
+            f"no prior multipath baseline for machine {machine or '?'!s}; "
+            f"recording {latest_rates[0]:.1f} splits/s and "
+            f"{latest_rates[1]:.1f} rows/s as the first entry"
+        )
+        return 0
+    status = 0
+    for label, index in (("scheduler splits", 0), ("dataset rows", 1)):
+        best = max(values[index] for values in baseline)
+        if best <= 0:
+            continue
+        floor = best * (1.0 - threshold)
+        latest_rate = latest_rates[index]
+        verdict = "OK" if latest_rate >= floor else "REGRESSION"
+        reporter.info(
+            f"multipath {label}: {latest_rate:.1f}/s vs baseline "
+            f"{best:.1f} (floor {floor:.1f}, threshold {threshold:.0%}) "
+            f"on {machine}: {verdict}"
+        )
+        if latest_rate < floor:
+            status = 1
+    return status
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("trajectory", help="BENCH_smoke.json path")
@@ -324,6 +399,7 @@ def main(argv=None) -> int:
     service_status = check_service_throughput(history, args.threshold)
     slo_status = check_service_slo(history)
     scenario_status = check_scenario_compile(history, args.threshold)
+    multipath_status = check_multipath(history, args.threshold)
     return (
         status
         or shard_status
@@ -331,6 +407,7 @@ def main(argv=None) -> int:
         or service_status
         or slo_status
         or scenario_status
+        or multipath_status
     )
 
 

@@ -24,6 +24,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.experiments.config import TEST_SCALE  # noqa: E402
 from repro.experiments.figure5 import run_figure5  # noqa: E402
 from repro.experiments.figure6 import run_figure6  # noqa: E402
+from repro.experiments.multipath import run_multipath  # noqa: E402
 from repro.experiments.traffic import run_traffic  # noqa: E402
 from repro.obs import get_reporter  # noqa: E402
 from repro.scenario import (  # noqa: E402
@@ -90,6 +91,51 @@ def traffic_fixture() -> dict:
     return {"scale": result.scale_name, "series": series}
 
 
+def multipath_fixture() -> dict:
+    """Churn horizons of every strategy at the test scale.
+
+    Pins the aggregates plus the dataset id — the content address of the
+    full per-path time series — so any drift in scheduling, churn
+    modeling or export encoding shows up as a one-line diff."""
+    import tempfile
+
+    from repro.multipath.dataset import write_dataset
+    from repro.multipath.scheduler import STRATEGY_NAMES
+
+    result = run_multipath(
+        TEST_SCALE, strategies=STRATEGY_NAMES, k_paths=3
+    )
+    series = {}
+    ordered = []
+    for name in STRATEGY_NAMES:
+        run = result.results[name]
+        ordered.append(run)
+        series[name] = {
+            "packets_offered": run.packets_offered,
+            "packets_delivered": run.packets_delivered,
+            "packets_lost": run.packets_lost,
+            "macs_verified": run.macs_verified,
+            "beacon_expiries": run.beacon_expiries,
+            "switch_events": run.switch_events,
+            "scmp_events": run.scmp_events,
+            "faults_injected": run.faults_injected,
+            "num_rows": len(run.rows),
+            "num_paths": len(run.paths),
+            "pairs": [list(pair) for pair in run.pairs],
+            "path_lifetimes": list(run.path_lifetimes),
+            # Float pipeline: compared with approx in the test.
+            "latency_sum": sum(row[9] for row in run.rows),
+        }
+    with tempfile.TemporaryDirectory() as tmp:
+        manifest = write_dataset(ordered, tmp)
+    return {
+        "scale": result.scale_name,
+        "series": series,
+        "dataset_id": manifest["dataset_id"],
+        "schema_version": manifest["schema_version"],
+    }
+
+
 def scenarios_fixture() -> dict:
     """Compile manifests of every built-in family at the test scale.
 
@@ -119,6 +165,7 @@ def main() -> int:
     write("figure5_test.json", figure5_fixture())
     write("figure6_test.json", figure6_fixture())
     write("traffic_test.json", traffic_fixture())
+    write("multipath_test.json", multipath_fixture())
     write("scenarios_test.json", scenarios_fixture())
     return 0
 
